@@ -1,0 +1,138 @@
+"""Ablations of QTurbo's design choices (DESIGN.md architecture notes).
+
+Three knobs, each isolating one of the paper's claimed mechanisms:
+
+* **refinement on/off** — Section 6.2's L1 pass must reduce (never
+  increase) the compilation error;
+* **analytic vs generic local solvers** — the closed-form Rabi /
+  detuning / van-der-Waals strategies vs plain bounded least squares on
+  every component: same decomposition, different local-solve cost;
+* **decomposition vs monolith** — QTurbo's partitioned solve vs the
+  baseline's global mixed system: the core Section-4 claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import chain_rydberg_spec, write_report
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.analysis import format_table
+from repro.baseline import SimuQStyleCompiler
+from repro.models import ising_chain
+
+N = 8
+
+
+@pytest.fixture(scope="module")
+def aais():
+    return RydbergAAIS(N, spec=chain_rydberg_spec(N))
+
+
+def test_ablation_refinement(benchmark, aais):
+    model = ising_chain(N)
+    with_refine = benchmark.pedantic(
+        lambda: QTurboCompiler(aais, refine=True).compile(model, 1.0),
+        rounds=1,
+        iterations=1,
+    )
+    without = QTurboCompiler(aais, refine=False).compile(model, 1.0)
+    rows = [
+        [
+            "refine=on",
+            with_refine.compile_seconds,
+            100 * with_refine.relative_error,
+        ],
+        ["refine=off", without.compile_seconds, 100 * without.relative_error],
+    ]
+    improvement = 100 * (
+        1 - with_refine.relative_error / max(without.relative_error, 1e-12)
+    )
+    report = format_table(
+        ["config", "compile_s", "rel_err(%)"],
+        rows,
+        title=f"Ablation: Section-6.2 refinement ({N}-atom Ising chain)",
+    )
+    write_report(
+        "ablation_refinement",
+        report + f"\nerror reduction from refinement: {improvement:.1f}%",
+    )
+    assert with_refine.relative_error <= without.relative_error + 1e-12
+
+
+def test_ablation_analytic_solvers(benchmark, aais):
+    model = ising_chain(N)
+    analytic = benchmark.pedantic(
+        lambda: QTurboCompiler(aais, use_analytic_solvers=True).compile(
+            model, 1.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    generic = QTurboCompiler(aais, use_analytic_solvers=False).compile(
+        model, 1.0
+    )
+    rows = [
+        [
+            "analytic",
+            analytic.compile_seconds,
+            analytic.execution_time,
+            100 * analytic.relative_error,
+        ],
+        [
+            "generic-lsq",
+            generic.compile_seconds,
+            generic.execution_time,
+            100 * generic.relative_error,
+        ],
+    ]
+    report = format_table(
+        ["local solver", "compile_s", "exec_T(µs)", "rel_err(%)"],
+        rows,
+        title=f"Ablation: analytic local strategies ({N}-atom Ising chain)",
+    )
+    write_report("ablation_analytic_solvers", report)
+    assert analytic.success and generic.success
+    # Same decomposition ⇒ same bottleneck time; analytic must not be
+    # less accurate.
+    assert analytic.execution_time == pytest.approx(
+        generic.execution_time, rel=1e-6
+    )
+    assert analytic.relative_error <= generic.relative_error + 1e-6
+
+
+def test_ablation_decomposition(benchmark, aais):
+    """QTurbo's two-level solve vs the monolithic global mixed system."""
+    model = ising_chain(N)
+    qturbo = benchmark.pedantic(
+        lambda: QTurboCompiler(aais).compile(model, 1.0),
+        rounds=1,
+        iterations=1,
+    )
+    monolith = SimuQStyleCompiler(aais, seed=0, max_restarts=3).compile(
+        model, 1.0
+    )
+    rows = [
+        [
+            "decomposed (qturbo)",
+            qturbo.compile_seconds,
+            qturbo.execution_time,
+            100 * qturbo.relative_error,
+        ],
+        [
+            "monolithic (baseline)",
+            monolith.compile_seconds,
+            monolith.execution_time if monolith.success else float("nan"),
+            100 * monolith.relative_error
+            if monolith.success
+            else float("nan"),
+        ],
+    ]
+    report = format_table(
+        ["equation system", "compile_s", "exec_T(µs)", "rel_err(%)"],
+        rows,
+        title=f"Ablation: decomposition vs monolith ({N}-atom Ising chain)",
+    )
+    write_report("ablation_decomposition", report)
+    assert qturbo.compile_seconds < monolith.compile_seconds

@@ -1,0 +1,137 @@
+"""Table 1: baseline compilation time blows up with system size.
+
+The paper measures SimuQ on Ising cycles of 20–100 qubits (11 s at N=20
+growing to 23 902 s at N=100).  We reproduce the *shape* at laptop scale:
+the baseline's global mixed solve grows super-linearly (full-system
+least-squares with numeric Jacobians plus restart lotteries) while QTurbo
+stays in the tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import planar_rydberg_spec, write_report
+from repro import QTurboCompiler
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.analysis import format_table
+from repro.baseline import SimuQStyleCompiler
+from repro.models import ising_cycle
+
+#: Heisenberg sizes — the AAIS the baseline handles most gracefully,
+#: making the growth trend cleanest to demonstrate.
+HEISENBERG_SIZES = (4, 8, 12, 16, 20)
+RYDBERG_SIZES = (4, 6, 8)
+
+
+def test_table1_heisenberg_scaling(benchmark):
+    rows = []
+    times = {}
+    for n in HEISENBERG_SIZES:
+        aais = HeisenbergAAIS(n)
+        baseline = SimuQStyleCompiler(aais, seed=0, max_restarts=4)
+        qturbo = QTurboCompiler(aais)
+        b = baseline.compile(ising_cycle(n), 1.0)
+        if n == HEISENBERG_SIZES[-1]:
+            q = benchmark.pedantic(
+                lambda: qturbo.compile(ising_cycle(n), 1.0),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            q = qturbo.compile(ising_cycle(n), 1.0)
+        times[n] = (b.compile_seconds, q.compile_seconds)
+        rows.append(
+            [
+                n,
+                b.compile_seconds,
+                "yes" if b.success else "no",
+                q.compile_seconds,
+                b.compile_seconds / max(q.compile_seconds, 1e-9),
+            ]
+        )
+    report = format_table(
+        ["N", "simuq_s", "simuq_ok", "qturbo_s", "speedup"],
+        rows,
+        title=(
+            "Table 1 (shape): compile time vs Ising-cycle size, "
+            "Heisenberg AAIS"
+        ),
+    )
+    from repro.analysis import fit_power_law
+
+    baseline_fit = fit_power_law(
+        list(HEISENBERG_SIZES), [times[n][0] for n in HEISENBERG_SIZES]
+    )
+    qturbo_fit = fit_power_law(
+        list(HEISENBERG_SIZES), [times[n][1] for n in HEISENBERG_SIZES]
+    )
+    report += (
+        f"\nfitted growth exponents: simuq N^{baseline_fit.exponent:.2f}, "
+        f"qturbo N^{qturbo_fit.exponent:.2f}"
+    )
+    write_report("table1_heisenberg", report)
+    assert baseline_fit.exponent > qturbo_fit.exponent
+    # The paper's qualitative claims: baseline grows super-linearly,
+    # QTurbo stays flat-ish and far faster at the largest size.
+    small, large = HEISENBERG_SIZES[0], HEISENBERG_SIZES[-1]
+    size_ratio = large / small
+    assert times[large][0] / times[small][0] > size_ratio
+    assert times[large][0] / times[large][1] > 10
+
+
+def test_table1_rydberg_scaling(benchmark):
+    rows = []
+    for n in RYDBERG_SIZES:
+        # Cycles need the planar trap: a ring cannot embed in 1-D.
+        aais = RydbergAAIS(n, spec=planar_rydberg_spec(n))
+        b = SimuQStyleCompiler(aais, seed=0, max_restarts=3).compile(
+            ising_cycle(n), 1.0
+        )
+        compiler = QTurboCompiler(aais)
+        if n == RYDBERG_SIZES[-1]:
+            q = benchmark.pedantic(
+                lambda: compiler.compile(ising_cycle(n), 1.0),
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            q = compiler.compile(ising_cycle(n), 1.0)
+        rows.append(
+            [
+                n,
+                b.compile_seconds,
+                "yes" if b.success else "no",
+                q.compile_seconds,
+                b.compile_seconds / max(q.compile_seconds, 1e-9),
+            ]
+        )
+    report = format_table(
+        ["N", "simuq_s", "simuq_ok", "qturbo_s", "speedup"],
+        rows,
+        title="Table 1 (shape): compile time vs Ising-cycle size, Rydberg AAIS",
+    )
+    write_report("table1_rydberg", report)
+    assert all(row[4] > 1 for row in rows)
+
+
+@pytest.mark.parametrize("n", [12])
+def test_benchmark_qturbo_compile_heisenberg(benchmark, n):
+    """pytest-benchmark target: QTurbo compile on a 12-qubit cycle."""
+    aais = HeisenbergAAIS(n)
+    compiler = QTurboCompiler(aais)
+    model = ising_cycle(n)
+    result = benchmark(lambda: compiler.compile(model, 1.0))
+    assert result.success
+
+
+@pytest.mark.parametrize("n", [8])
+def test_benchmark_baseline_compile_heisenberg(benchmark, n):
+    """pytest-benchmark target: baseline compile on an 8-qubit cycle."""
+    aais = HeisenbergAAIS(n)
+    compiler = SimuQStyleCompiler(aais, seed=0, max_restarts=2)
+    model = ising_cycle(n)
+    result = benchmark.pedantic(
+        lambda: compiler.compile(model, 1.0), rounds=2, iterations=1
+    )
+    assert result.success

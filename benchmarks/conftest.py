@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: it
+runs the workloads, writes an aligned text table to
+``benchmarks/results/<name>.txt``, prints it, and registers a
+pytest-benchmark timing for the headline operation.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.devices import RydbergSpec
+from repro.devices.base import TrapGeometry
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    """Persist a benchmark report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print("\n" + text)
+    print(f"[report written to {path}]")
+    return path
+
+
+def chain_rydberg_spec(n: int) -> RydbergSpec:
+    """A 1-D Rydberg trap wide enough for an N-atom chain.
+
+    Stands in for Aquila's 75×76 µm planar area when benchmarking long
+    chains (DESIGN.md documents the substitution).
+    """
+    extent = max(75.0, 9.0 * n)
+    return RydbergSpec(
+        name="bench-chain",
+        delta_max=20.0,
+        omega_max=2.5,
+        geometry=TrapGeometry(extent=extent, min_spacing=4.0, dimension=1),
+        max_time=4.0,
+    )
+
+
+def planar_rydberg_spec(n: int) -> RydbergSpec:
+    """A 2-D Rydberg trap sized for an N-atom ring."""
+    extent = max(75.0, 4.0 * n)
+    return RydbergSpec(
+        name="bench-planar",
+        delta_max=20.0,
+        omega_max=2.5,
+        geometry=TrapGeometry(extent=extent, min_spacing=4.0, dimension=2),
+        max_time=4.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

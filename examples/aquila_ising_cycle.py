@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Figure-6(a) style experiment: a 12-atom Ising cycle on (simulated) Aquila.
+
+Compiles the model with both QTurbo and the SimuQ-style baseline, executes
+both pulses on the noisy Aquila stand-in, and compares the measured
+Z_avg / ZZ_avg against the exact theory curve.  Shorter pulses suffer less
+noise — QTurbo's 0.25 µs pulse lands much closer to theory than the
+baseline's ~1 µs-plus pulse, mirroring the paper's real-device result
+(59–80% error reduction on these metrics).
+
+Run:  python examples/aquila_ising_cycle.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.analysis import format_table
+from repro.baseline import SimuQStyleCompiler
+from repro.devices import aquila_spec
+from repro.models import ising_cycle
+from repro.sim import (
+    NoisySimulator,
+    aquila_noise,
+    evolve,
+    ground_state,
+    z_average,
+    zz_average,
+)
+
+N_ATOMS = 12
+J, H = 0.157, 0.785  # rad/µs, the paper's Fig. 6(a) parameters
+
+
+def main(fast: bool = False) -> None:
+    shots = 200 if fast else 1000
+    noise_samples = 4 if fast else 12
+    t_targets = [0.5, 1.0] if fast else [0.5, 0.625, 0.75, 0.875, 1.0]
+
+    aais = RydbergAAIS(N_ATOMS, spec=aquila_spec(omega_max=6.28))
+    qturbo = QTurboCompiler(aais)
+    simuq = SimuQStyleCompiler(aais, seed=0, max_restarts=4)
+    noisy = NoisySimulator(
+        noise=aquila_noise(t1=4.0), noise_samples=noise_samples, seed=7
+    )
+    model = ising_cycle(N_ATOMS, j=J, h=H)
+
+    rows = []
+    for t_target in t_targets:
+        ideal = evolve(ground_state(N_ATOMS), model, t_target, N_ATOMS)
+        theory = (z_average(ideal), zz_average(ideal))
+
+        q_result = qturbo.compile(model, t_target)
+        q_metrics = noisy.observables(q_result.schedule, shots=shots)
+
+        b_result = simuq.compile(model, t_target)
+        if b_result.success:
+            b_metrics = noisy.observables(b_result.schedule, shots=shots)
+            b_duration = b_result.execution_time
+        else:
+            b_metrics = {"z_avg": float("nan"), "zz_avg": float("nan")}
+            b_duration = float("nan")
+
+        rows.append(
+            [
+                t_target,
+                theory[0],
+                q_metrics["z_avg"],
+                b_metrics["z_avg"],
+                theory[1],
+                q_metrics["zz_avg"],
+                b_metrics["zz_avg"],
+                q_result.execution_time,
+                b_duration,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "T_tar",
+                "Z_th",
+                "Z_qturbo",
+                "Z_simuq",
+                "ZZ_th",
+                "ZZ_qturbo",
+                "ZZ_simuq",
+                "T_q(µs)",
+                "T_s(µs)",
+            ],
+            rows,
+            title=f"12-atom Ising cycle on noisy Aquila ({shots} shots)",
+            precision=3,
+        )
+    )
+
+    z_err_q = np.nanmean([abs(r[2] - r[1]) for r in rows])
+    z_err_b = np.nanmean([abs(r[3] - r[1]) for r in rows])
+    print(
+        f"\nmean |Z_avg error|: QTurbo {z_err_q:.3f} vs SimuQ {z_err_b:.3f}"
+        f"  (reduction {100 * (1 - z_err_q / z_err_b):.0f}%)"
+        if z_err_b > 0
+        else ""
+    )
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Compiling onto a Heisenberg-AAIS device (superconducting / ion style).
+
+Every drive amplitude on this instruction set is runtime dynamic, so
+QTurbo solves the program *exactly* (zero compilation error — the 100%
+error reduction of Figure 4) and picks the provably shortest pulse: the
+bottleneck drive runs at its hardware maximum.
+
+Run:  python examples/heisenberg_device.py
+"""
+
+from repro import QTurboCompiler
+from repro.aais import HeisenbergAAIS
+from repro.analysis import format_table
+from repro.baseline import SimuQStyleCompiler
+from repro.devices import HeisenbergSpec
+from repro.models import heisenberg_chain, ising_chain, kitaev_chain
+
+
+def main() -> None:
+    spec = HeisenbergSpec(single_max=2.0, pair_max=0.5, topology="chain")
+    models = {
+        "ising_chain": ising_chain,
+        "heisenberg_chain": heisenberg_chain,
+        "kitaev": kitaev_chain,
+    }
+    rows = []
+    for name, build in models.items():
+        n = 6
+        aais = HeisenbergAAIS(n, spec=spec)
+        target = build(n)
+        q = QTurboCompiler(aais).compile(target, 1.0)
+        b = SimuQStyleCompiler(aais, seed=0).compile(target, 1.0)
+        rows.append(
+            [
+                name,
+                n,
+                q.compile_seconds * 1e3,
+                b.compile_seconds * 1e3 if b.success else float("nan"),
+                q.execution_time,
+                b.execution_time if b.success else float("nan"),
+                100 * q.relative_error,
+                100 * b.relative_error if b.success else float("nan"),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "model",
+                "N",
+                "qturbo_ms",
+                "simuq_ms",
+                "qturbo_T",
+                "simuq_T",
+                "qturbo_err%",
+                "simuq_err%",
+            ],
+            rows,
+            title="Heisenberg device comparison (pair drives ≤ 0.5 rad/µs)",
+            precision=3,
+        )
+    )
+    print(
+        "\nNote: QTurbo's T is exactly |J|·T_tar / pair_max — the"
+        " bottleneck two-qubit drive at maximum amplitude."
+    )
+
+
+if __name__ == "__main__":
+    main()

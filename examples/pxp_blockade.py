@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""PXP / Rydberg-blockade dynamics beyond the device's wall-clock limit.
+
+Figure 6(b)'s key point: Aquila caps program execution at 4 µs, yet an
+analog compiler can simulate a 20 µs *target* evolution because the
+compiled pulse is dramatically shorter than the target time — here a
+20 µs PXP evolution compresses to ≈0.4 µs (paper: 0.4 µs vs SimuQ's
+3.4 µs).  The J/h = 10 ratio keeps the chain in the blockade regime, so
+quantum-scar revivals survive.
+
+Run:  python examples/pxp_blockade.py
+"""
+
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.analysis import format_table
+from repro.devices import aquila_spec
+from repro.models import pxp_chain
+from repro.sim import (
+    evolve,
+    evolve_schedule,
+    ground_state,
+    z_average,
+    zz_average,
+)
+
+N_ATOMS = 6
+J, H = 1.26, 0.126  # rad/µs (paper Fig. 6(b))
+
+
+def main() -> None:
+    aais = RydbergAAIS(N_ATOMS, spec=aquila_spec(omega_max=13.8))
+    compiler = QTurboCompiler(aais)
+    model = pxp_chain(N_ATOMS, j=J, h=H)
+
+    rows = []
+    for t_target in (5.0, 10.0, 15.0, 20.0):
+        result = compiler.compile(model, t_target)
+        ideal = evolve(ground_state(N_ATOMS), model, t_target, N_ATOMS)
+        compiled = evolve_schedule(ground_state(N_ATOMS), result.schedule)
+        rows.append(
+            [
+                t_target,
+                result.execution_time,
+                t_target / result.execution_time,
+                z_average(ideal),
+                z_average(compiled),
+                zz_average(ideal, periodic=False),
+                zz_average(compiled, periodic=False),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "T_tar(µs)",
+                "T_dev(µs)",
+                "compress",
+                "Z_theory",
+                "Z_pulse",
+                "ZZ_theory",
+                "ZZ_pulse",
+            ],
+            rows,
+            title=f"{N_ATOMS}-atom PXP chain, J/h = 10 (blockade regime)",
+            precision=3,
+        )
+    )
+    print(
+        "\nEvery compiled pulse fits under Aquila's 4 µs cap even though"
+        "\nthe 20 µs target exceeds it fivefold — the compiler advantage"
+        "\nthe paper highlights."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Zero-noise extrapolation on top of compiled pulses.
+
+The paper's related-work section points to error mitigation for analog
+simulation (Meher et al., QCE'24).  Pulse *stretching* — amplitudes ÷ λ,
+duration × λ — leaves the ideal physics invariant and scales up the
+time-dependent noise, so measuring at a few
+modest stretches (λ ≤ 1.5, where decay is still ≈linear) and
+extrapolating to λ → 0 removes the smoothly λ-dependent error.
+
+Run:  python examples/zne_mitigation.py
+"""
+
+import numpy as np
+
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.analysis import format_table
+from repro.devices import paper_example_spec
+from repro.mitigation import zne_observables
+from repro.models import ising_chain
+from repro.sim import (
+    NoisySimulator,
+    aquila_noise,
+    evolve_schedule,
+    ground_state,
+    z_average,
+    zz_average,
+)
+
+# Two-point linear extrapolation: robust to shot noise (a
+# higher-order fit amplifies statistical error ~10x).
+FACTORS = (1.0, 1.5)
+SHOTS = 8000
+
+
+def main() -> None:
+    aais = RydbergAAIS(3, spec=paper_example_spec())
+    result = QTurboCompiler(aais).compile(ising_chain(3), 1.0)
+    schedule = result.schedule
+
+    ideal = evolve_schedule(ground_state(3), schedule)
+    truth = {"z_avg": z_average(ideal), "zz_avg": zz_average(ideal)}
+
+    simulator = NoisySimulator(
+        noise=aquila_noise(t1=3.0, p01=0.0, p10=0.0),
+        noise_samples=16,
+        seed=3,
+    )
+    zne = zne_observables(
+        schedule,
+        simulator,
+        factors=FACTORS,
+        shots=SHOTS,
+        rng=np.random.default_rng(5),
+    )
+
+    rows = []
+    for key in ("z_avg", "zz_avg"):
+        rows.append(
+            [
+                key,
+                truth[key],
+                zne.raw[key][0],
+                *zne.raw[key][1:],
+                zne.mitigated[key],
+            ]
+        )
+    headers = (
+        ["metric", "ideal", "raw λ=1"]
+        + [f"raw λ={f:g}" for f in FACTORS[1:]]
+        + ["mitigated"]
+    )
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"ZNE on the 3-atom Ising-chain pulse ({SHOTS} shots/λ)",
+            precision=3,
+        )
+    )
+    for key in ("z_avg", "zz_avg"):
+        raw_error = abs(zne.raw[key][0] - truth[key])
+        mitigated_error = abs(zne.mitigated[key] - truth[key])
+        print(
+            f"{key}: |error| raw {raw_error:.3f} -> mitigated "
+            f"{mitigated_error:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""QTurbo: a robust and efficient compiler for analog quantum simulation.
+
+Reproduction of *QTurbo* (ASPLOS 2026, arXiv:2506.22958).  The package
+compiles target Hamiltonians onto analog quantum simulators described by
+Abstract Analog Instruction Sets, and ships the full evaluation substrate:
+a SimuQ-style baseline compiler, exact and noisy state-vector simulation,
+and the paper's benchmark model library.
+
+Quickstart
+----------
+>>> from repro import QTurboCompiler, RydbergAAIS
+>>> from repro.models import ising_chain
+>>> aais = RydbergAAIS(3)
+>>> result = QTurboCompiler(aais).compile(ising_chain(3), t_target=1.0)
+>>> result.success
+True
+"""
+
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.core import CompilationResult, QTurboCompiler
+from repro.devices import (
+    HeisenbergSpec,
+    RydbergSpec,
+    aquila_spec,
+    ibm_like_spec,
+    paper_example_spec,
+)
+from repro.hamiltonian import (
+    Hamiltonian,
+    PauliString,
+    PiecewiseHamiltonian,
+    TimeDependentHamiltonian,
+)
+from repro.pulse import PulseSchedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QTurboCompiler",
+    "CompilationResult",
+    "RydbergAAIS",
+    "HeisenbergAAIS",
+    "RydbergSpec",
+    "HeisenbergSpec",
+    "aquila_spec",
+    "paper_example_spec",
+    "ibm_like_spec",
+    "Hamiltonian",
+    "PauliString",
+    "PiecewiseHamiltonian",
+    "TimeDependentHamiltonian",
+    "PulseSchedule",
+    "__version__",
+]

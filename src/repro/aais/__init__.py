@@ -1,0 +1,27 @@
+"""Abstract Analog Instruction Sets: variables, channels, instruction sets."""
+
+from repro.aais.base import AAIS, Instruction
+from repro.aais.channels import (
+    Channel,
+    RabiCosChannel,
+    RabiSinChannel,
+    ScaledVariableChannel,
+    VanDerWaalsChannel,
+)
+from repro.aais.heisenberg import HeisenbergAAIS
+from repro.aais.rydberg import RydbergAAIS
+from repro.aais.variables import Variable, VariableKind
+
+__all__ = [
+    "AAIS",
+    "Instruction",
+    "Channel",
+    "ScaledVariableChannel",
+    "RabiCosChannel",
+    "RabiSinChannel",
+    "VanDerWaalsChannel",
+    "RydbergAAIS",
+    "HeisenbergAAIS",
+    "Variable",
+    "VariableKind",
+]

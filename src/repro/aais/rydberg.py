@@ -1,0 +1,253 @@
+"""The Rydberg AAIS (paper Section 2.1.1).
+
+Instructions of an ``N``-atom neutral-atom simulator:
+
+* ``vdw_i_j`` — Van der Waals interaction
+  :math:`C_6/|x_i-x_j|^6\\,\\hat n_i \\hat n_j` for every atom pair
+  (runtime fixed through the positions :math:`x_i`);
+* ``detuning_i`` — :math:`-\\Delta_i \\hat n_i` (runtime dynamic,
+  time-critical Δ);
+* ``rabi_i`` — :math:`\\tfrac{\\Omega_i}{2}\\cos(\\phi_i) X_i
+  - \\tfrac{\\Omega_i}{2}\\sin(\\phi_i) Y_i`
+  (runtime dynamic; time-critical Ω, free phase φ).
+
+Positions are scalars in a linear trap (``geometry.dimension == 1``) or
+planar coordinates (``dimension == 2``; each site contributes ``x_i`` and
+``y_i``).  With ``spec.global_drive`` (Aquila's public capability) a
+single Δ, Ω, φ drives every atom; the per-site channels then share the
+same variables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.aais.base import AAIS, Instruction
+from repro.aais.channels import (
+    RabiCosChannel,
+    RabiSinChannel,
+    ScaledVariableChannel,
+    VanDerWaalsChannel,
+)
+from repro.aais.variables import Variable, VariableKind
+from repro.devices.rydberg import RydbergSpec
+from repro.errors import AAISError
+from repro.hamiltonian.pauli import PauliString
+
+__all__ = ["RydbergAAIS"]
+
+
+class RydbergAAIS(AAIS):
+    """Instruction set of a neutral-atom (Rydberg) simulator."""
+
+    def __init__(self, num_sites: int, spec: RydbergSpec = None):
+        if num_sites < 2:
+            raise AAISError("Rydberg AAIS needs at least 2 atoms")
+        self.spec = spec if spec is not None else RydbergSpec()
+        geometry = self.spec.geometry
+        self.dimension = geometry.dimension
+
+        # position_variables[i] holds the coordinate variables of site i:
+        # (x_i,) in 1-D, (x_i, y_i) in 2-D.
+        self.position_variables: List[Tuple[Variable, ...]] = []
+        for i in range(num_sites):
+            coords = [
+                Variable(
+                    name=f"x_{i}",
+                    kind=VariableKind.FIXED,
+                    lower=0.0,
+                    upper=geometry.extent,
+                )
+            ]
+            if self.dimension == 2:
+                coords.append(
+                    Variable(
+                        name=f"y_{i}",
+                        kind=VariableKind.FIXED,
+                        lower=0.0,
+                        upper=geometry.extent,
+                    )
+                )
+            self.position_variables.append(tuple(coords))
+
+        instructions: List[Instruction] = []
+        instructions.extend(self._build_vdw_instructions(num_sites))
+        instructions.extend(self._build_detuning_instructions(num_sites))
+        instructions.extend(self._build_rabi_instructions(num_sites))
+        super().__init__(self.spec.name, num_sites, instructions)
+
+    # ------------------------------------------------------------------
+    def _build_vdw_instructions(self, num_sites: int) -> List[Instruction]:
+        spec = self.spec
+        instructions = []
+        for i in range(num_sites):
+            for j in range(i + 1, num_sites):
+                # n̂_i n̂_j = (I - Z_i - Z_j + Z_i Z_j) / 4, so the channel
+                # expression C6 / (4 d^6) multiplies this ±1 pattern.
+                terms = {
+                    PauliString.identity(): 1.0,
+                    PauliString.single("Z", i): -1.0,
+                    PauliString.single("Z", j): -1.0,
+                    PauliString.from_pairs([(i, "Z"), (j, "Z")]): 1.0,
+                }
+                channel = VanDerWaalsChannel(
+                    name=f"vdw_{i}_{j}",
+                    site_i=i,
+                    site_j=j,
+                    position_variables=(
+                        self.position_variables[i]
+                        + self.position_variables[j]
+                    ),
+                    prefactor=spec.c6 / 4.0,
+                    min_distance=spec.geometry.min_spacing,
+                    max_distance=spec.geometry.max_distance,
+                    terms=terms,
+                )
+                instructions.append(Instruction(f"vdw_{i}_{j}", [channel]))
+        return instructions
+
+    def _build_detuning_instructions(self, num_sites: int) -> List[Instruction]:
+        spec = self.spec
+        if spec.global_drive:
+            shared = Variable(
+                name="delta",
+                kind=VariableKind.DYNAMIC,
+                lower=-spec.delta_max,
+                upper=spec.delta_max,
+                time_critical=True,
+            )
+            deltas = [shared] * num_sites
+        else:
+            deltas = [
+                Variable(
+                    name=f"delta_{i}",
+                    kind=VariableKind.DYNAMIC,
+                    lower=-spec.delta_max,
+                    upper=spec.delta_max,
+                    time_critical=True,
+                )
+                for i in range(num_sites)
+            ]
+        instructions = []
+        for i in range(num_sites):
+            # -Δ n̂_i = -(Δ/2) I + (Δ/2) Z_i: expression Δ/2, pattern below.
+            terms = {
+                PauliString.identity(): -1.0,
+                PauliString.single("Z", i): 1.0,
+            }
+            channel = ScaledVariableChannel(
+                name=f"detuning_{i}", variable=deltas[i], scale=0.5, terms=terms
+            )
+            instructions.append(Instruction(f"detuning_{i}", [channel]))
+        return instructions
+
+    def _build_rabi_instructions(self, num_sites: int) -> List[Instruction]:
+        spec = self.spec
+        if spec.global_drive:
+            omega = Variable(
+                name="omega",
+                kind=VariableKind.DYNAMIC,
+                lower=0.0,
+                upper=spec.omega_max,
+                time_critical=True,
+            )
+            phi = Variable(
+                name="phi",
+                kind=VariableKind.DYNAMIC,
+                lower=0.0,
+                upper=spec.phi_max,
+            )
+            pairs = [(omega, phi)] * num_sites
+        else:
+            pairs = [
+                (
+                    Variable(
+                        name=f"omega_{i}",
+                        kind=VariableKind.DYNAMIC,
+                        lower=0.0,
+                        upper=spec.omega_max,
+                        time_critical=True,
+                    ),
+                    Variable(
+                        name=f"phi_{i}",
+                        kind=VariableKind.DYNAMIC,
+                        lower=0.0,
+                        upper=spec.phi_max,
+                    ),
+                )
+                for i in range(num_sites)
+            ]
+        instructions = []
+        for i in range(num_sites):
+            omega, phi = pairs[i]
+            cos_channel = RabiCosChannel(
+                name=f"rabi_cos_{i}",
+                omega=omega,
+                phi=phi,
+                scale=0.5,
+                terms={PauliString.single("X", i): 1.0},
+            )
+            sin_channel = RabiSinChannel(
+                name=f"rabi_sin_{i}",
+                omega=omega,
+                phi=phi,
+                scale=0.5,
+                terms={PauliString.single("Y", i): 1.0},
+            )
+            instructions.append(
+                Instruction(f"rabi_{i}", [cos_channel, sin_channel])
+            )
+        return instructions
+
+    # ------------------------------------------------------------------
+    def positions(
+        self, values: Mapping[str, float]
+    ) -> List[Tuple[float, ...]]:
+        """Atom coordinate tuples extracted from a variable assignment."""
+        return [
+            tuple(float(values[v.name]) for v in coords)
+            for coords in self.position_variables
+        ]
+
+    def pair_distance(
+        self, values: Mapping[str, float], i: int, j: int
+    ) -> float:
+        """Euclidean distance between atoms ``i`` and ``j``."""
+        a = self.positions(values)[i]
+        b = self.positions(values)[j]
+        return math.hypot(*(ai - bi for ai, bi in zip(a, b)))
+
+    def spacing_violations(
+        self, values: Mapping[str, float], tol: float = 1e-9
+    ) -> List[str]:
+        """Pairs of atoms closer than the hardware minimum spacing."""
+        coords = self.positions(values)
+        minimum = self.spec.geometry.min_spacing
+        problems = []
+        for i in range(len(coords)):
+            for j in range(i + 1, len(coords)):
+                distance = math.hypot(
+                    *(a - b for a, b in zip(coords[i], coords[j]))
+                )
+                if distance < minimum - tol:
+                    problems.append(
+                        f"atoms {i},{j} separated by {distance:.3f} µm "
+                        f"< minimum {minimum:g} µm"
+                    )
+        return problems
+
+    def default_positions(self, spacing: float = None) -> Dict[str, float]:
+        """Evenly spaced chain layout (a sensible initial guess)."""
+        extent = self.spec.geometry.extent
+        if spacing is None:
+            spacing = min(
+                extent / max(self.num_sites - 1, 1),
+                3.0 * self.spec.geometry.min_spacing,
+            )
+        values: Dict[str, float] = {}
+        for i in range(self.num_sites):
+            values[f"x_{i}"] = min(i * spacing, extent)
+            if self.dimension == 2:
+                values[f"y_{i}"] = extent / 2.0
+        return values

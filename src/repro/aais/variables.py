@@ -1,0 +1,95 @@
+"""Amplitude variables of an analog instruction set.
+
+The paper distinguishes (Section 2.1):
+
+* **runtime fixed** variables — set before execution and immutable during
+  it (atom positions on a Rydberg device);
+* **runtime dynamic** variables — adjustable while the program runs
+  (detuning Δ, Rabi amplitude Ω and phase φ, Heisenberg drive amplitudes);
+* **time-critical** variables — the dynamic variables that directly scale
+  a Hamiltonian term's amplitude (Δ, Ω, the Heisenberg ``a``); their upper
+  bounds determine the shortest achievable evolution time (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import AAISError
+
+__all__ = ["VariableKind", "Variable"]
+
+
+class VariableKind(enum.Enum):
+    """Whether a variable may change during program execution."""
+
+    FIXED = "fixed"
+    DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A bounded scalar control knob of the simulator.
+
+    Attributes
+    ----------
+    name:
+        Globally unique identifier within an AAIS (e.g. ``"delta_2"``).
+    kind:
+        :class:`VariableKind.FIXED` or :class:`VariableKind.DYNAMIC`.
+    lower, upper:
+        Inclusive hardware bounds.  Unbounded sides use ±inf.
+    time_critical:
+        True for variables whose maximum directly limits how fast the
+        instruction can realize a target amplitude (Section 5.1).
+    """
+
+    name: str
+    kind: VariableKind
+    lower: float
+    upper: float
+    time_critical: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AAISError("variable name must be non-empty")
+        if math.isnan(self.lower) or math.isnan(self.upper):
+            raise AAISError(f"variable {self.name}: NaN bound")
+        if self.lower > self.upper:
+            raise AAISError(
+                f"variable {self.name}: lower bound {self.lower} exceeds "
+                f"upper bound {self.upper}"
+            )
+
+    @property
+    def is_fixed(self) -> bool:
+        return self.kind is VariableKind.FIXED
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind is VariableKind.DYNAMIC
+
+    @property
+    def span(self) -> float:
+        """Width of the feasible interval (inf when unbounded)."""
+        return self.upper - self.lower
+
+    def clip(self, value: float) -> float:
+        """Clamp ``value`` into the feasible interval."""
+        return min(max(value, self.lower), self.upper)
+
+    def contains(self, value: float, tol: float = 1e-9) -> bool:
+        """True when ``value`` lies within bounds up to ``tol`` slack."""
+        return self.lower - tol <= value <= self.upper + tol
+
+    def midpoint(self) -> float:
+        """A finite representative point of the feasible interval."""
+        if math.isinf(self.lower) and math.isinf(self.upper):
+            return 0.0
+        if math.isinf(self.lower):
+            return self.upper
+        if math.isinf(self.upper):
+            return self.lower
+        return 0.5 * (self.lower + self.upper)

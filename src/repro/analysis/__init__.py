@@ -1,0 +1,27 @@
+"""Evaluation harness: metrics, comparisons, report tables."""
+
+from repro.analysis.comparison import SweepPoint, SweepResult, run_sweep
+from repro.analysis.metrics import (
+    Comparison,
+    CompilerMetrics,
+    compare,
+    metrics_of,
+)
+from repro.analysis.reporting import format_number, format_table, geometric_mean
+from repro.analysis.scaling import PowerLawFit, doubling_ratio, fit_power_law
+
+__all__ = [
+    "CompilerMetrics",
+    "Comparison",
+    "compare",
+    "metrics_of",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "format_table",
+    "format_number",
+    "geometric_mean",
+    "PowerLawFit",
+    "fit_power_law",
+    "doubling_ratio",
+]

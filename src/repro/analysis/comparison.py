@@ -1,0 +1,122 @@
+"""High-level comparison harness: run both compilers over a workload grid.
+
+This is the engine behind the Figure-3/4 benchmarks: given a model
+family, a size sweep, and an AAIS factory, run QTurbo and the baseline on
+every point and collect the three metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import Comparison, compare
+from repro.baseline.simuq import SimuQStyleCompiler
+from repro.core.compiler import QTurboCompiler
+from repro.hamiltonian.expression import Hamiltonian
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One (model, size) evaluation."""
+
+    model: str
+    size: int
+    comparison: Comparison
+
+    def row(self) -> List:
+        """Table row: the paper's three metrics for both compilers."""
+        q = self.comparison.qturbo
+        b = self.comparison.baseline
+        return [
+            self.model,
+            self.size,
+            q.compile_seconds,
+            b.compile_seconds,
+            self.comparison.compile_speedup,
+            q.execution_time,
+            b.execution_time,
+            q.relative_error_percent,
+            b.relative_error_percent,
+        ]
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep plus aggregate statistics."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    HEADERS = [
+        "model",
+        "N",
+        "qturbo_s",
+        "simuq_s",
+        "speedup",
+        "qturbo_T",
+        "simuq_T",
+        "qturbo_err%",
+        "simuq_err%",
+    ]
+
+    def rows(self) -> List[List]:
+        return [p.row() for p in self.points]
+
+    def average_speedup(self) -> Optional[float]:
+        from repro.analysis.reporting import geometric_mean
+
+        speedups = [
+            p.comparison.compile_speedup
+            for p in self.points
+            if p.comparison.compile_speedup is not None
+        ]
+        return geometric_mean(speedups) if speedups else None
+
+    def average_execution_reduction(self) -> Optional[float]:
+        values = [
+            p.comparison.execution_reduction_percent
+            for p in self.points
+            if p.comparison.execution_reduction_percent is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    def average_error_reduction(self) -> Optional[float]:
+        values = [
+            p.comparison.error_reduction_percent
+            for p in self.points
+            if p.comparison.error_reduction_percent is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+
+def run_sweep(
+    model_name: str,
+    sizes: Sequence[int],
+    build_model: Callable[[int], Hamiltonian],
+    build_aais: Callable[[int], object],
+    t_target: float = 1.0,
+    baseline_seed: int = 0,
+    baseline_kwargs: Optional[Dict] = None,
+    qturbo_kwargs: Optional[Dict] = None,
+) -> SweepResult:
+    """Run QTurbo and the baseline across a size sweep of one model."""
+    result = SweepResult()
+    for size in sizes:
+        target = build_model(size)
+        aais = build_aais(size)
+        qturbo = QTurboCompiler(aais, **(qturbo_kwargs or {}))
+        baseline = SimuQStyleCompiler(
+            aais, seed=baseline_seed, **(baseline_kwargs or {})
+        )
+        q_result = qturbo.compile(target, t_target)
+        b_result = baseline.compile(target, t_target)
+        result.points.append(
+            SweepPoint(
+                model=model_name,
+                size=size,
+                comparison=compare(q_result, b_result),
+            )
+        )
+    return result

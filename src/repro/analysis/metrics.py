@@ -1,0 +1,99 @@
+"""Evaluation metrics (Section 7.1).
+
+Three headline metrics compare compilers:
+
+* **compilation time** — wall-clock seconds to produce the schedule;
+* **execution time** — duration of the compiled pulse on the device;
+* **program relative error** — ``||B_sim − B_tar||₁ / ||B_tar||₁``.
+
+Plus the derived comparison quantities the paper quotes: speedups and
+percentage reductions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.result import CompilationResult
+
+__all__ = ["CompilerMetrics", "Comparison", "compare", "metrics_of"]
+
+
+@dataclass(frozen=True)
+class CompilerMetrics:
+    """The three Section-7 metrics for one compilation run."""
+
+    compile_seconds: float
+    execution_time: float
+    relative_error: float
+    success: bool
+
+    @property
+    def relative_error_percent(self) -> float:
+        return 100.0 * self.relative_error
+
+
+def metrics_of(result: CompilationResult) -> CompilerMetrics:
+    """Extract the metric triple from a compilation result."""
+    if not result.success:
+        return CompilerMetrics(
+            compile_seconds=result.compile_seconds,
+            execution_time=math.nan,
+            relative_error=math.nan,
+            success=False,
+        )
+    return CompilerMetrics(
+        compile_seconds=result.compile_seconds,
+        execution_time=result.execution_time,
+        relative_error=result.relative_error,
+        success=True,
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """QTurbo-vs-baseline comparison for one workload.
+
+    ``speedup`` is baseline/QTurbo compile time; the two reductions are
+    the paper's percentage improvements (positive = QTurbo better).
+    """
+
+    qturbo: CompilerMetrics
+    baseline: CompilerMetrics
+
+    @property
+    def compile_speedup(self) -> Optional[float]:
+        if self.qturbo.compile_seconds <= 0:
+            return None
+        return self.baseline.compile_seconds / self.qturbo.compile_seconds
+
+    @property
+    def execution_reduction_percent(self) -> Optional[float]:
+        if not (self.qturbo.success and self.baseline.success):
+            return None
+        if self.baseline.execution_time <= 0:
+            return None
+        return 100.0 * (
+            1.0 - self.qturbo.execution_time / self.baseline.execution_time
+        )
+
+    @property
+    def error_reduction_percent(self) -> Optional[float]:
+        if not (self.qturbo.success and self.baseline.success):
+            return None
+        if self.baseline.relative_error <= 0:
+            return 0.0 if self.qturbo.relative_error <= 0 else None
+        return 100.0 * (
+            1.0 - self.qturbo.relative_error / self.baseline.relative_error
+        )
+
+
+def compare(
+    qturbo: CompilationResult, baseline: CompilationResult
+) -> Comparison:
+    """Build a :class:`Comparison` from two compilation results."""
+    return Comparison(
+        qturbo=metrics_of(qturbo), baseline=metrics_of(baseline)
+    )

@@ -1,0 +1,58 @@
+"""Plain-text tables for benchmark output (the repo's "figures")."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_number", "geometric_mean"]
+
+
+def format_number(value, precision: int = 4) -> str:
+    """Compact numeric formatting with NaN/None handling."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return "fail" if math.isnan(value) else "inf"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10**precision or abs(value) < 10**-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned monospace table."""
+    text_rows: List[List[str]] = [
+        [format_number(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (NaNs skipped)."""
+    clean = [v for v in values if v > 0 and not math.isnan(v)]
+    if not clean:
+        return math.nan
+    log_sum = sum(math.log(v) for v in clean)
+    return math.exp(log_sum / len(clean))

@@ -1,0 +1,81 @@
+"""Empirical scaling analysis for compile-time measurements.
+
+Table 1's claim is about *growth*: the baseline's compile time rises
+super-linearly with system size while QTurbo's stays near-linear.  This
+module turns (size, seconds) series into quantitative evidence: a
+power-law exponent from a log-log least-squares fit, and the average
+doubling ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "doubling_ratio"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``seconds ≈ prefactor · size^exponent`` with fit quality.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted growth exponent (1 = linear, 2 = quadratic, …).
+    prefactor:
+        Multiplicative constant.
+    r_squared:
+        Coefficient of determination in log-log space.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, size: float) -> float:
+        return self.prefactor * size**self.exponent
+
+
+def fit_power_law(
+    sizes: Sequence[float], seconds: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space.
+
+    Requires at least two strictly positive points.
+    """
+    if len(sizes) != len(seconds):
+        raise ValueError("sizes and seconds must have equal length")
+    pairs = [
+        (n, t) for n, t in zip(sizes, seconds) if n > 0 and t > 0
+    ]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive data points")
+    log_n = np.log([n for n, _ in pairs])
+    log_t = np.log([t for _, t in pairs])
+    slope, intercept = np.polyfit(log_n, log_t, 1)
+    predicted = slope * log_n + intercept
+    residual = float(((log_t - predicted) ** 2).sum())
+    total = float(((log_t - log_t.mean()) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope),
+        prefactor=float(math.exp(intercept)),
+        r_squared=r_squared,
+    )
+
+
+def doubling_ratio(
+    sizes: Sequence[float], seconds: Sequence[float]
+) -> float:
+    """Geometric-mean cost ratio per size doubling.
+
+    2.0 means the cost doubles when the size doubles (linear); 4.0 means
+    quadratic; larger values indicate steeper growth.  Computed from the
+    power-law exponent so unevenly spaced sweeps are handled uniformly.
+    """
+    fit = fit_power_law(sizes, seconds)
+    return float(2.0**fit.exponent)

@@ -1,0 +1,6 @@
+"""SimuQ-style baseline compiler: one global mixed equation system."""
+
+from repro.baseline.mixed_system import MixedSystem
+from repro.baseline.simuq import SimuQStyleCompiler
+
+__all__ = ["SimuQStyleCompiler", "MixedSystem"]

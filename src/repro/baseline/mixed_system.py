@@ -1,0 +1,328 @@
+"""Vectorized global mixed equation system (the baseline's view).
+
+SimuQ formulates compilation as *one* equation system over every
+amplitude variable, the evolution time, and one 0/1 indicator per dynamic
+instruction (Section 2.2).  This module evaluates that system's residual
+as a NumPy function of a flat unknown vector so SciPy's least-squares
+machinery can attack it directly — exactly the monolithic approach whose
+cost QTurbo's decomposition removes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aais.base import AAIS
+from repro.aais.channels import (
+    RabiCosChannel,
+    RabiSinChannel,
+    ScaledVariableChannel,
+    VanDerWaalsChannel,
+)
+from repro.core.linear_system import GlobalLinearSystem
+from repro.errors import CompilationError
+from repro.hamiltonian.pauli import PauliString
+
+__all__ = ["MixedSystem"]
+
+
+@dataclass
+class _ChannelGroups:
+    """Index arrays for vectorized expression evaluation by channel type."""
+
+    scaled_rows: np.ndarray
+    scaled_vars: np.ndarray
+    scaled_scales: np.ndarray
+    rabi_rows: np.ndarray
+    rabi_omega: np.ndarray
+    rabi_phi: np.ndarray
+    rabi_scales: np.ndarray
+    rabi_signs: np.ndarray
+    vdw_rows: np.ndarray
+    vdw_coords: np.ndarray  # (n_vdw, 2*dim) variable indices
+    vdw_prefactors: np.ndarray
+
+
+class MixedSystem:
+    """The baseline's monolithic mixed system for one AAIS.
+
+    Unknown vector layout: ``[amplitude variables..., T, indicators...]``
+    (indicators only when ``with_indicators``); ``frozen`` pins a subset
+    of amplitude variables (used to share atom positions across the
+    segments of a time-dependent program).
+    """
+
+    def __init__(
+        self,
+        aais: AAIS,
+        with_indicators: bool = True,
+        frozen: Optional[Mapping[str, float]] = None,
+    ):
+        self.aais = aais
+        self.with_indicators = with_indicators
+        self.frozen: Dict[str, float] = dict(frozen or {})
+
+        self.variables = [
+            v
+            for v in aais.variables.values()
+            if v.name not in self.frozen
+        ]
+        self.var_index = {v.name: k for k, v in enumerate(self.variables)}
+        self.num_vars = len(self.variables)
+        self.t_index = self.num_vars
+
+        # One indicator per *dynamic* instruction group; instructions that
+        # share variables (e.g. a global drive) share one indicator, which
+        # keeps indicator absorption into amplitudes well-defined.
+        self.indicator_instructions = [
+            instruction
+            for instruction in aais.instructions
+            if instruction.is_dynamic
+        ]
+        group_of: Dict[str, Tuple[str, ...]] = {}
+        groups: List[Tuple[str, ...]] = []
+        for instruction in self.indicator_instructions:
+            key = tuple(sorted(v.name for v in instruction.variables))
+            if key not in group_of.values():
+                groups.append(key)
+            group_of[instruction.name] = key
+        self._instruction_group = group_of
+        if with_indicators:
+            self.indicator_index = {
+                key: self.t_index + 1 + k for k, key in enumerate(groups)
+            }
+        else:
+            self.indicator_index = {}
+        self.num_unknowns = (
+            self.num_vars + 1 + len(self.indicator_index)
+        )
+
+        self.linear = GlobalLinearSystem(aais.channels)
+        self.matrix = self.linear.matrix
+        self._channel_indicator = self._map_channel_indicators()
+        self._groups = self._build_groups()
+
+    # ------------------------------------------------------------------
+    def _map_channel_indicators(self) -> np.ndarray:
+        """Indicator unknown index per channel (-1 = always on)."""
+        instruction_of: Dict[str, str] = {}
+        for instruction in self.aais.instructions:
+            for channel in instruction.channels:
+                instruction_of[channel.name] = instruction.name
+        mapping = np.full(len(self.aais.channels), -1, dtype=int)
+        for k, channel in enumerate(self.aais.channels):
+            name = instruction_of[channel.name]
+            group = self._instruction_group.get(name)
+            if group is not None and group in self.indicator_index:
+                mapping[k] = self.indicator_index[group]
+        return mapping
+
+    def absorb_indicators(self, x: np.ndarray) -> np.ndarray:
+        """Fold fractional indicators into their amplitude variables.
+
+        A relaxed indicator ``s ∈ [0, 1]`` multiplying a drive of
+        amplitude ``a`` is physically just the drive at amplitude
+        ``s·a`` (the paper makes exactly this observation in Section
+        2.2), so the relaxed solution maps to a valid pulse with all
+        indicators at 1.
+        """
+        if not self.with_indicators:
+            return x.copy()
+        result = x.copy()
+        scaled: set = set()
+        for instruction in self.indicator_instructions:
+            group = self._instruction_group[instruction.name]
+            index = self.indicator_index[group]
+            factor = float(result[index])
+            for channel in instruction.channels:
+                if isinstance(channel, ScaledVariableChannel):
+                    target = channel.variable.name
+                elif isinstance(channel, (RabiCosChannel, RabiSinChannel)):
+                    target = channel.omega.name
+                else:  # pragma: no cover — fixed channels carry no indicator
+                    continue
+                var_index = self.var_index[target]
+                if var_index not in scaled:
+                    result[var_index] *= factor
+                    scaled.add(var_index)
+        for index in self.indicator_index.values():
+            result[index] = 1.0
+        return result
+
+    def _lookup(self, name: str) -> Tuple[int, float]:
+        """(unknown index, frozen value) — index −1 means frozen."""
+        if name in self.frozen:
+            return -1, self.frozen[name]
+        return self.var_index[name], 0.0
+
+    def _build_groups(self) -> _ChannelGroups:
+        scaled_rows, scaled_vars, scaled_scales = [], [], []
+        rabi_rows, rabi_omega, rabi_phi, rabi_scales, rabi_signs = (
+            [],
+            [],
+            [],
+            [],
+            [],
+        )
+        vdw_rows, vdw_coords, vdw_prefactors = [], [], []
+        self._frozen_vector = np.zeros(self.num_vars + 1)
+        for k, channel in enumerate(self.aais.channels):
+            if isinstance(channel, ScaledVariableChannel):
+                index, _ = self._lookup(channel.variable.name)
+                if index < 0:
+                    raise CompilationError(
+                        "dynamic variables cannot be frozen in the baseline"
+                    )
+                scaled_rows.append(k)
+                scaled_vars.append(index)
+                scaled_scales.append(channel.scale)
+            elif isinstance(channel, (RabiCosChannel, RabiSinChannel)):
+                omega_index, _ = self._lookup(channel.omega.name)
+                phi_index, _ = self._lookup(channel.phi.name)
+                rabi_rows.append(k)
+                rabi_omega.append(omega_index)
+                rabi_phi.append(phi_index)
+                rabi_scales.append(channel.scale)
+                rabi_signs.append(
+                    1.0 if isinstance(channel, RabiCosChannel) else -1.0
+                )
+            elif isinstance(channel, VanDerWaalsChannel):
+                coords = []
+                for variable in channel.variables:
+                    index, value = self._lookup(variable.name)
+                    coords.append(index)
+                vdw_rows.append(k)
+                vdw_coords.append(coords)
+                vdw_prefactors.append(channel.prefactor)
+            else:  # pragma: no cover — every shipped channel is covered
+                raise CompilationError(
+                    f"baseline cannot vectorize channel {channel!r}"
+                )
+        n_vdw = len(vdw_rows)
+        coord_width = len(vdw_coords[0]) if vdw_coords else 0
+        return _ChannelGroups(
+            scaled_rows=np.array(scaled_rows, dtype=int),
+            scaled_vars=np.array(scaled_vars, dtype=int),
+            scaled_scales=np.array(scaled_scales),
+            rabi_rows=np.array(rabi_rows, dtype=int),
+            rabi_omega=np.array(rabi_omega, dtype=int),
+            rabi_phi=np.array(rabi_phi, dtype=int),
+            rabi_scales=np.array(rabi_scales),
+            rabi_signs=np.array(rabi_signs),
+            vdw_rows=np.array(vdw_rows, dtype=int),
+            vdw_coords=np.array(vdw_coords, dtype=int).reshape(
+                n_vdw, coord_width
+            ),
+            vdw_prefactors=np.array(vdw_prefactors),
+        )
+
+    # ------------------------------------------------------------------
+    def expressions(self, x: np.ndarray) -> np.ndarray:
+        """Expression value of every channel at unknown vector ``x``."""
+        groups = self._groups
+        out = np.zeros(len(self.aais.channels))
+        if groups.scaled_rows.size:
+            out[groups.scaled_rows] = (
+                groups.scaled_scales * x[groups.scaled_vars]
+            )
+        if groups.rabi_rows.size:
+            omega = x[groups.rabi_omega]
+            phi = x[groups.rabi_phi]
+            cos_part = np.cos(phi)
+            sin_part = np.sin(phi)
+            quadrature = np.where(
+                groups.rabi_signs > 0, cos_part, sin_part
+            )
+            out[groups.rabi_rows] = (
+                groups.rabi_signs * groups.rabi_scales * omega * quadrature
+            )
+        if groups.vdw_rows.size:
+            coords = self._vdw_coordinates(x)
+            half = coords.shape[1] // 2
+            deltas = coords[:, :half] - coords[:, half:]
+            distance = np.sqrt(np.sum(deltas * deltas, axis=1))
+            distance = np.maximum(distance, 1e-3)
+            out[groups.vdw_rows] = groups.vdw_prefactors / distance**6
+        return out
+
+    def _vdw_coordinates(self, x: np.ndarray) -> np.ndarray:
+        groups = self._groups
+        indices = groups.vdw_coords
+        safe = np.maximum(indices, 0)
+        values = x[safe]
+        if np.any(indices < 0):
+            frozen = self._vdw_frozen_values()
+            values = np.where(indices >= 0, values, frozen)
+        return values
+
+    def _vdw_frozen_values(self) -> np.ndarray:
+        if not hasattr(self, "_vdw_frozen_cache"):
+            rows = []
+            for k, channel in enumerate(self.aais.channels):
+                if not isinstance(channel, VanDerWaalsChannel):
+                    continue
+                row = []
+                for variable in channel.variables:
+                    row.append(self.frozen.get(variable.name, 0.0))
+                rows.append(row)
+            self._vdw_frozen_cache = (
+                np.array(rows) if rows else np.zeros((0, 0))
+            )
+        return self._vdw_frozen_cache
+
+    # ------------------------------------------------------------------
+    def indicator_values(self, x: np.ndarray) -> np.ndarray:
+        """Per-channel on/off factor (1.0 for always-on channels)."""
+        if not self.with_indicators:
+            return np.ones(len(self.aais.channels))
+        factors = np.ones(len(self.aais.channels))
+        mask = self._channel_indicator >= 0
+        factors[mask] = x[self._channel_indicator[mask]]
+        return factors
+
+    def residuals(
+        self, x: np.ndarray, b: np.ndarray, row_scale: np.ndarray
+    ) -> np.ndarray:
+        """Scaled residual of every Pauli-term equation."""
+        t_sim = x[self.t_index]
+        effective = self.expressions(x) * self.indicator_values(x) * t_sim
+        return (self.matrix.dot(effective) - b) / row_scale
+
+    def b_vector(self, b_target: Mapping[PauliString, float]) -> np.ndarray:
+        return self.linear.target_vector(b_target)
+
+    def achieved_b(self, x: np.ndarray) -> Dict[PauliString, float]:
+        """Realized coefficient vector at unknown vector ``x``."""
+        t_sim = x[self.t_index]
+        effective = self.expressions(x) * self.indicator_values(x) * t_sim
+        values = self.matrix.dot(effective)
+        return dict(zip(self.linear.terms, values.tolist()))
+
+    # ------------------------------------------------------------------
+    def bounds(
+        self, t_min: float, t_max: float, relax_indicators: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lower = np.empty(self.num_unknowns)
+        upper = np.empty(self.num_unknowns)
+        for k, variable in enumerate(self.variables):
+            lower[k] = max(variable.lower, -1e9)
+            upper[k] = min(variable.upper, 1e9)
+        lower[self.t_index] = t_min
+        upper[self.t_index] = t_max
+        for index in self.indicator_index.values():
+            lower[index] = 0.0
+            upper[index] = 1.0 if relax_indicators else 1.0
+        return lower, upper
+
+    def values_dict(self, x: np.ndarray) -> Dict[str, float]:
+        """Amplitude-variable assignment (frozen values included)."""
+        values = {
+            variable.name: float(x[k])
+            for k, variable in enumerate(self.variables)
+        }
+        values.update(self.frozen)
+        return values

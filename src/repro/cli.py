@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``
+    Compile a registered model (or a textual Hamiltonian) onto a device
+    and print the schedule plus metrics as JSON.
+``models``
+    List the registered benchmark models.
+``compare``
+    Run QTurbo and the SimuQ-style baseline on the same workload and
+    print the three Section-7 metrics side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.baseline import SimuQStyleCompiler
+from repro.core import QTurboCompiler
+from repro.devices import HeisenbergSpec, RydbergSpec, aquila_spec
+from repro.devices.base import TrapGeometry
+from repro.hamiltonian import Hamiltonian, parse_hamiltonian
+from repro.models import build_model, model_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QTurbo analog quantum simulation compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = sub.add_parser("compile", help="compile a target")
+    _add_workload_args(compile_cmd)
+    compile_cmd.add_argument(
+        "--no-refine",
+        action="store_true",
+        help="disable the Section-6.2 refinement pass",
+    )
+    compile_cmd.add_argument(
+        "--output",
+        choices=("summary", "json"),
+        default="summary",
+        help="print a one-line summary or the full schedule JSON",
+    )
+
+    sub.add_parser("models", help="list registered benchmark models")
+
+    compare_cmd = sub.add_parser(
+        "compare", help="QTurbo vs SimuQ-style baseline"
+    )
+    _add_workload_args(compare_cmd)
+    compare_cmd.add_argument(
+        "--seed", type=int, default=0, help="baseline restart seed"
+    )
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--model", help=f"registered model name ({', '.join(model_names())})"
+    )
+    group.add_argument(
+        "--hamiltonian",
+        help='textual Hamiltonian, e.g. "Z0*Z1 + X0 + X1"',
+    )
+    parser.add_argument(
+        "-n", "--qubits", type=int, default=3, help="system size"
+    )
+    parser.add_argument(
+        "-t", "--time", type=float, default=1.0, help="target time (µs)"
+    )
+    parser.add_argument(
+        "--device",
+        choices=("rydberg", "rydberg-1d", "aquila", "heisenberg"),
+        default="rydberg-1d",
+        help="target device preset",
+    )
+
+
+def _build_target(args: argparse.Namespace) -> Hamiltonian:
+    if args.model:
+        return build_model(args.model, args.qubits)
+    return parse_hamiltonian(args.hamiltonian)
+
+
+def _build_aais(args: argparse.Namespace, target: Hamiltonian):
+    n = max(args.qubits, target.num_qubits())
+    if args.device == "heisenberg":
+        return HeisenbergAAIS(n, spec=HeisenbergSpec())
+    if args.device == "aquila":
+        return RydbergAAIS(n, spec=aquila_spec())
+    if args.device == "rydberg":
+        spec = RydbergSpec(
+            geometry=TrapGeometry(
+                extent=max(75.0, 4.0 * n), min_spacing=4.0, dimension=2
+            ),
+            delta_max=20.0,
+            omega_max=2.5,
+        )
+        return RydbergAAIS(n, spec=spec)
+    spec = RydbergSpec(
+        name="rydberg-1d",
+        geometry=TrapGeometry(
+            extent=max(75.0, 9.0 * n), min_spacing=4.0, dimension=1
+        ),
+        delta_max=20.0,
+        omega_max=2.5,
+    )
+    return RydbergAAIS(n, spec=spec)
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    target = _build_target(args)
+    aais = _build_aais(args, target)
+    compiler = QTurboCompiler(aais, refine=not args.no_refine)
+    result = compiler.compile(target, args.time)
+    if args.output == "json":
+        payload = {
+            "success": result.success,
+            "summary": result.summary(),
+            "execution_time_us": result.execution_time,
+            "relative_error": result.relative_error,
+            "schedule": result.schedule.to_dict() if result.schedule else None,
+            "warnings": result.warnings,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        for warning in result.warnings:
+            print(f"warning: {warning}")
+    return 0 if result.success else 1
+
+
+def _command_models(_args: argparse.Namespace) -> int:
+    for name in model_names():
+        print(name)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    target = _build_target(args)
+    aais = _build_aais(args, target)
+    qturbo = QTurboCompiler(aais).compile(target, args.time)
+    baseline = SimuQStyleCompiler(aais, seed=args.seed).compile(
+        target, args.time
+    )
+    print(f"qturbo : {qturbo.summary()}")
+    print(f"simuq  : {baseline.summary()}")
+    if qturbo.success and baseline.success:
+        speedup = baseline.compile_seconds / max(
+            qturbo.compile_seconds, 1e-9
+        )
+        print(f"compile speedup: {speedup:.1f}x")
+    return 0 if qturbo.success else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compile": _command_compile,
+        "models": _command_models,
+        "compare": _command_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""QTurbo compiler core: linear system, partition, local solvers, pipeline."""
+
+from repro.core.adaptive import AdaptiveResult, adaptive_discretize
+from repro.core.compiler import QTurboCompiler
+from repro.core.error_bounds import ErrorBudget, theorem1_bound
+from repro.core.linear_system import GlobalLinearSystem, LinearSolution
+from repro.core.local_solvers import (
+    GenericStrategy,
+    LinearStrategy,
+    LocalSolution,
+    LocalSolverStrategy,
+    RabiStrategy,
+    VanDerWaalsStrategy,
+    select_strategy,
+)
+from repro.core.mapping import apply_mapping, find_mapping, interaction_graph
+from repro.core.partition import LocalComponent, UnionFind, partition_channels
+from repro.core.refinement import RefinementResult, refine_dynamic_alphas
+from repro.core.result import CompilationResult, SegmentSolution, StageTimings
+from repro.core.time_optimizer import (
+    TimeOptimizationResult,
+    optimize_evolution_time,
+)
+
+__all__ = [
+    "QTurboCompiler",
+    "AdaptiveResult",
+    "adaptive_discretize",
+    "CompilationResult",
+    "SegmentSolution",
+    "StageTimings",
+    "GlobalLinearSystem",
+    "LinearSolution",
+    "LocalComponent",
+    "UnionFind",
+    "partition_channels",
+    "LocalSolution",
+    "LocalSolverStrategy",
+    "LinearStrategy",
+    "RabiStrategy",
+    "VanDerWaalsStrategy",
+    "GenericStrategy",
+    "select_strategy",
+    "TimeOptimizationResult",
+    "optimize_evolution_time",
+    "RefinementResult",
+    "refine_dynamic_alphas",
+    "ErrorBudget",
+    "theorem1_bound",
+    "find_mapping",
+    "apply_mapping",
+    "interaction_graph",
+]

@@ -1,0 +1,441 @@
+"""The QTurbo compiler pipeline (Sections 4–6).
+
+Stages, per Figure 1:
+
+1. **Global linear system** (Section 4.1) — solve for the synthesized
+   variables α_c = expression_c × T_sim.
+2. **Partition** (Section 4.2) — split channels into localized mixed
+   systems (connected components over shared amplitude variables).
+3. **Evolution-time optimization** (Section 5.1) — the bottleneck
+   component at maximum amplitude sets T_sim.
+4. **Runtime-fixed solve** (Section 5.2) — atom positions, with an
+   iterative time-stretch loop when hardware spacing constraints bite.
+5. **Refinement** (Section 6.2) — re-solve the dynamic synthesized
+   variables to absorb the fixed-channel residual (L1 minimization).
+
+Time-dependent targets (Section 5.3) compile segment by segment with the
+runtime-fixed variables shared: the segment requiring the *smallest*
+fixed amplitudes anchors the position solve, and every other segment's
+evolution time stretches to compensate.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.aais.base import AAIS
+from repro.core.error_bounds import ErrorBudget
+from repro.core.linear_system import GlobalLinearSystem, LinearSolution
+from repro.core.local_solvers import (
+    LocalSolution,
+    LocalSolverStrategy,
+    select_strategy,
+)
+from repro.core.partition import partition_channels
+from repro.core.refinement import refine_dynamic_alphas
+from repro.core.result import CompilationResult, SegmentSolution, StageTimings
+from repro.core.time_optimizer import MIN_TIME_FLOOR, optimize_evolution_time
+from repro.errors import CompilationError, InfeasibleError
+from repro.hamiltonian.expression import Hamiltonian
+from repro.hamiltonian.pauli import PauliString
+from repro.hamiltonian.time_dependent import (
+    PiecewiseHamiltonian,
+    TimeDependentHamiltonian,
+)
+from repro.pulse.schedule import PulseSchedule, PulseSegment
+
+__all__ = ["QTurboCompiler"]
+
+_ZERO = 1e-12
+
+
+class QTurboCompiler:
+    """Compile target Hamiltonians onto an AAIS.
+
+    Parameters
+    ----------
+    aais:
+        The simulator's instruction set.
+    refine:
+        Run the Section-6.2 refinement pass (default True).
+    t_floor:
+        Minimum evolution time per segment (µs).
+    feasibility_growth:
+        Factor by which the evolution time is stretched when the
+        runtime-fixed solve violates hardware constraints.
+    max_feasibility_iters:
+        Cap on stretch iterations before giving up.
+    use_analytic_solvers:
+        When False, every local system is solved by the generic bounded
+        least-squares fallback instead of the closed-form strategies —
+        an ablation knob for measuring what the analytic solvers buy.
+    """
+
+    def __init__(
+        self,
+        aais: AAIS,
+        refine: bool = True,
+        t_floor: float = MIN_TIME_FLOOR,
+        feasibility_growth: float = 1.15,
+        max_feasibility_iters: int = 25,
+        use_analytic_solvers: bool = True,
+    ):
+        if feasibility_growth <= 1.0:
+            raise CompilationError("feasibility_growth must exceed 1")
+        self.aais = aais
+        self.refine = refine
+        self.t_floor = float(t_floor)
+        self.feasibility_growth = float(feasibility_growth)
+        self.max_feasibility_iters = int(max_feasibility_iters)
+        self.use_analytic_solvers = bool(use_analytic_solvers)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compile(
+        self, target: Hamiltonian, t_target: float
+    ) -> CompilationResult:
+        """Compile a time-independent target evolved for ``t_target``."""
+        if t_target <= 0:
+            raise CompilationError(
+                f"target evolution time must be positive, got {t_target}"
+            )
+        return self.compile_piecewise(
+            PiecewiseHamiltonian.constant(target, t_target)
+        )
+
+    def compile_time_dependent(
+        self, target: TimeDependentHamiltonian, num_segments: int
+    ) -> CompilationResult:
+        """Discretize and compile a continuously time-dependent target."""
+        return self.compile_piecewise(target.discretize(num_segments))
+
+    def compile_piecewise(
+        self, target: PiecewiseHamiltonian
+    ) -> CompilationResult:
+        """Compile a piecewise-constant target (the general entry point)."""
+        start = time.perf_counter()
+        timings = StageTimings()
+        try:
+            result = self._compile(target, timings)
+        except InfeasibleError as error:
+            result = CompilationResult(success=False, message=str(error))
+        result.compile_seconds = time.perf_counter() - start
+        timings.total = result.compile_seconds
+        result.stage_timings = timings
+        return result
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def _compile(
+        self, target: PiecewiseHamiltonian, timings: StageTimings
+    ) -> CompilationResult:
+        self._check_target(target)
+        channels = self.aais.channels
+
+        # Stage 1: global linear solves (one per segment, shared matrix).
+        tick = time.perf_counter()
+        extra_terms: List[PauliString] = []
+        for segment in target.segments:
+            extra_terms.extend(segment.hamiltonian.terms)
+        system = GlobalLinearSystem(channels, extra_terms=tuple(extra_terms))
+        b_targets = [
+            {
+                term: coeff * segment.duration
+                for term, coeff in segment.hamiltonian.terms.items()
+                if not term.is_identity
+            }
+            for segment in target.segments
+        ]
+        linear_solutions: List[LinearSolution] = [
+            system.solve(b) for b in b_targets
+        ]
+        timings.linear = time.perf_counter() - tick
+
+        warnings: List[str] = []
+        for solution in linear_solutions:
+            for term in solution.unreachable_terms:
+                message = f"target term {term} is unreachable on this AAIS"
+                if message not in warnings:
+                    warnings.append(message)
+
+        # Stage 2: partition into localized mixed systems.
+        tick = time.perf_counter()
+        components = partition_channels(channels)
+        strategies = [self._select_strategy(c) for c in components]
+        fixed_strategies = [
+            s for s in strategies if s.component.is_fixed
+        ]
+        dynamic_strategies = [
+            s for s in strategies if s.component.is_dynamic
+        ]
+        timings.partition = time.perf_counter() - tick
+
+        # Stage 3: per-segment bottleneck evolution times.
+        tick = time.perf_counter()
+        t_dynamic = [
+            self._bottleneck_time(dynamic_strategies, alphas.alphas)
+            for alphas in linear_solutions
+        ]
+        t_all = [
+            max(
+                t_dyn,
+                self._bottleneck_time(fixed_strategies, sol.alphas),
+            )
+            for t_dyn, sol in zip(t_dynamic, linear_solutions)
+        ]
+        timings.time_optimization = time.perf_counter() - tick
+
+        # Stage 4: runtime-fixed solve, shared across segments.
+        tick = time.perf_counter()
+        fixed_values: Dict[str, float] = {}
+        fixed_solutions: Dict[int, LocalSolution] = {}
+        feasibility_iterations = 0
+        if fixed_strategies:
+            anchor = self._anchor_segment(
+                fixed_strategies, linear_solutions, t_all
+            )
+            (
+                fixed_values,
+                fixed_solutions,
+                feasibility_iterations,
+                fixed_warnings,
+            ) = self._solve_fixed(
+                fixed_strategies, linear_solutions[anchor].alphas, t_all[anchor]
+            )
+            warnings.extend(fixed_warnings)
+        timings.local_solve = time.perf_counter() - tick
+
+        # Stage 4b: per-segment final times and dynamic solves.
+        tick = time.perf_counter()
+        segments: List[SegmentSolution] = []
+        pulse_segments: List[PulseSegment] = []
+        eps2_total = 0.0
+        eps1_total = 0.0
+        refinement_applied = False
+        for index, segment in enumerate(target.segments):
+            alphas = dict(linear_solutions[index].alphas)
+            t_seg = self._segment_time(
+                fixed_strategies,
+                fixed_solutions,
+                alphas,
+                t_dynamic[index],
+            )
+            # Achieved fixed synthesized values at this segment's time.
+            for strategy_index, strategy in enumerate(fixed_strategies):
+                solution = fixed_solutions[strategy_index]
+                for name, expr in solution.achieved_expressions.items():
+                    alphas[name] = expr * t_seg
+
+            if self.refine and fixed_strategies and dynamic_strategies:
+                refine_tick = time.perf_counter()
+                dynamic_channels = [
+                    c
+                    for s in dynamic_strategies
+                    for c in s.component.channels
+                ]
+                refined = refine_dynamic_alphas(
+                    system,
+                    b_targets[index],
+                    alphas,
+                    dynamic_channels,
+                    t_seg,
+                )
+                timings.refinement += time.perf_counter() - refine_tick
+                if refined.applied:
+                    alphas = refined.alphas
+                    refinement_applied = True
+
+            dynamic_values: Dict[str, float] = {}
+            eps2_segment = 0.0
+            for strategy in dynamic_strategies:
+                solution = strategy.solve(alphas, t_seg)
+                dynamic_values.update(solution.values)
+                eps2_segment += solution.alpha_residual_l1(alphas, t_seg)
+
+            values = dict(fixed_values)
+            values.update(dynamic_values)
+            achieved = {
+                channel.name: channel.evaluate(values) * t_seg
+                for channel in channels
+            }
+            # Fixed channels' targets are their achieved values (their
+            # mismatch is already part of the refined linear residual).
+            eps1_total += self._linear_residual(
+                system, alphas, b_targets[index]
+            )
+            eps2_total += eps2_segment
+
+            segments.append(
+                SegmentSolution(
+                    duration=t_seg,
+                    values=values,
+                    alpha_targets=alphas,
+                    achieved_alphas=achieved,
+                    b_target=b_targets[index],
+                    b_sim=system.achieved_b(achieved),
+                )
+            )
+            pulse_segments.append(
+                PulseSegment(duration=t_seg, dynamic_values=dynamic_values)
+            )
+        timings.local_solve += time.perf_counter() - tick - timings.refinement
+
+        schedule = PulseSchedule(
+            self.aais,
+            fixed_values=fixed_values,
+            segments=pulse_segments,
+        )
+        warnings.extend(schedule.validate())
+
+        budget = ErrorBudget(
+            matrix_l1_norm=system.matrix_l1_norm(),
+            linear_residual=eps1_total,
+            local_residuals=[eps2_total],
+        )
+        return CompilationResult(
+            success=True,
+            message="ok",
+            segments=segments,
+            schedule=schedule,
+            num_components=len(components),
+            error_budget=budget,
+            refinement_applied=refinement_applied,
+            feasibility_iterations=feasibility_iterations,
+            warnings=warnings,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _select_strategy(self, component) -> LocalSolverStrategy:
+        if self.use_analytic_solvers:
+            return select_strategy(component)
+        from repro.core.local_solvers import GenericStrategy
+
+        return GenericStrategy(component)
+
+    def _check_target(self, target: PiecewiseHamiltonian) -> None:
+        needed = target.num_qubits()
+        if needed > self.aais.num_sites:
+            raise CompilationError(
+                f"target touches {needed} qubits but the AAIS has only "
+                f"{self.aais.num_sites} sites"
+            )
+
+    def _bottleneck_time(
+        self,
+        strategies: Sequence[LocalSolverStrategy],
+        alphas: Mapping[str, float],
+    ) -> float:
+        if not strategies:
+            return self.t_floor
+        outcome = optimize_evolution_time(
+            strategies, alphas, t_floor=self.t_floor
+        )
+        return outcome.t_sim
+
+    def _anchor_segment(
+        self,
+        fixed_strategies: Sequence[LocalSolverStrategy],
+        linear_solutions: Sequence[LinearSolution],
+        t_all: Sequence[float],
+    ) -> int:
+        """The segment with the smallest required fixed amplitudes.
+
+        Section 5.3: per-time amplitudes can be lowered (by stretching a
+        segment's evolution time) but never raised, so the positions must
+        realize the smallest β set.
+        """
+        best_index = 0
+        best_beta = math.inf
+        for index, (solution, t_seg) in enumerate(
+            zip(linear_solutions, t_all)
+        ):
+            beta = 0.0
+            for strategy in fixed_strategies:
+                for channel in strategy.component.channels:
+                    beta = max(
+                        beta, abs(solution.alphas[channel.name]) / t_seg
+                    )
+            if beta < best_beta - _ZERO:
+                best_beta = beta
+                best_index = index
+        return best_index
+
+    def _solve_fixed(
+        self,
+        fixed_strategies: Sequence[LocalSolverStrategy],
+        alphas: Mapping[str, float],
+        t_anchor: float,
+    ) -> Tuple[Dict[str, float], Dict[int, LocalSolution], int, List[str]]:
+        """Solve fixed components, stretching time until feasible."""
+        t_current = t_anchor
+        last_solutions: Dict[int, LocalSolution] = {}
+        for iteration in range(self.max_feasibility_iters + 1):
+            values: Dict[str, float] = {}
+            solutions: Dict[int, LocalSolution] = {}
+            feasible = True
+            for k, strategy in enumerate(fixed_strategies):
+                expressions = {
+                    channel.name: alphas[channel.name] / t_current
+                    for channel in strategy.component.channels
+                }
+                solution = strategy.solve_expressions(expressions)
+                solutions[k] = solution
+                values.update(solution.values)
+                if not solution.feasible:
+                    feasible = False
+            last_solutions = solutions
+            if feasible:
+                return values, solutions, iteration, []
+            t_current *= self.feasibility_growth
+        problems = [
+            problem
+            for solution in last_solutions.values()
+            for problem in solution.problems
+        ]
+        raise InfeasibleError(
+            "runtime-fixed variables violate hardware constraints even "
+            f"after {self.max_feasibility_iters} time stretches: "
+            + "; ".join(problems[:5])
+        )
+
+    def _segment_time(
+        self,
+        fixed_strategies: Sequence[LocalSolverStrategy],
+        fixed_solutions: Mapping[int, LocalSolution],
+        alphas: Mapping[str, float],
+        t_dynamic: float,
+    ) -> float:
+        """Final evolution time of a segment.
+
+        With positions frozen, the realized fixed expressions e_c are
+        constants; the best-fit time matching e_c·T ≈ α_c is the
+        amplitude-weighted least-squares solution, floored by the dynamic
+        bottleneck.
+        """
+        numerator = 0.0
+        denominator = 0.0
+        for index, _strategy in enumerate(fixed_strategies):
+            solution = fixed_solutions[index]
+            for name, expr in solution.achieved_expressions.items():
+                numerator += expr * alphas[name]
+                denominator += expr * expr
+        t_fit = numerator / denominator if denominator > _ZERO else 0.0
+        return max(t_dynamic, t_fit, self.t_floor)
+
+    @staticmethod
+    def _linear_residual(
+        system: GlobalLinearSystem,
+        alphas: Mapping[str, float],
+        b_target: Mapping[PauliString, float],
+    ) -> float:
+        import numpy as np
+
+        return float(
+            np.abs(system.residual_vector(alphas, b_target)).sum()
+        )

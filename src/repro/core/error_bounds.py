@@ -1,0 +1,65 @@
+"""Theorem 1: the compilation error bound (Section 6.1, Appendix A).
+
+With ε₁ the L1 error of the global linear solve and ε₂ⁱ the L1 error of
+each localized mixed solve (in synthesized-variable space), the total
+compilation error satisfies
+
+.. math::
+
+    \\|B_{sim} - B_{tar}\\|_1 \\;\\le\\; \\|M\\|_1 \\sum_{i=1}^{K} \\epsilon_2^i
+    \\;+\\; \\epsilon_1,
+
+where ‖M‖₁ is the induced (max-column-sum) norm of the global linear
+matrix.  The bound is checked against the measured error in the test
+suite as a correctness invariant of the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ErrorBudget", "theorem1_bound"]
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """The quantities entering the Theorem-1 bound.
+
+    Attributes
+    ----------
+    matrix_l1_norm:
+        ‖M‖₁ of the global linear system.
+    linear_residual:
+        ε₁ — L1 residual of the global linear solve.
+    local_residuals:
+        ε₂ⁱ — per-component L1 residuals (synthesized-variable space).
+    """
+
+    matrix_l1_norm: float
+    linear_residual: float
+    local_residuals: Sequence[float]
+
+    @property
+    def bound(self) -> float:
+        """The right-hand side of Equation (10)."""
+        return theorem1_bound(
+            self.matrix_l1_norm, self.linear_residual, self.local_residuals
+        )
+
+    @property
+    def total_local_residual(self) -> float:
+        return sum(self.local_residuals)
+
+
+def theorem1_bound(
+    matrix_l1_norm: float,
+    linear_residual: float,
+    local_residuals: Sequence[float],
+) -> float:
+    """``‖M‖₁ · Σᵢ ε₂ⁱ + ε₁`` (Equation (10))."""
+    if matrix_l1_norm < 0 or linear_residual < 0:
+        raise ValueError("norms and residuals must be non-negative")
+    if any(e < 0 for e in local_residuals):
+        raise ValueError("local residuals must be non-negative")
+    return matrix_l1_norm * sum(local_residuals) + linear_residual

@@ -1,0 +1,91 @@
+"""Evolution-time optimization (Section 5.1).
+
+Each local component, running its time-critical variables at maximum
+capability, realizes its synthesized-variable targets in some shortest
+time.  The slowest component is the bottleneck; its time becomes the
+simulator evolution time, guaranteeing every other component operates
+within a safe amplitude range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.local_solvers import LocalSolverStrategy
+from repro.errors import InfeasibleError
+
+__all__ = ["TimeOptimizationResult", "optimize_evolution_time"]
+
+#: Floor on the evolution time: a pulse of exactly zero length is not a
+#: program; hardware quantizes durations anyway.
+MIN_TIME_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class TimeOptimizationResult:
+    """Outcome of the bottleneck analysis.
+
+    Attributes
+    ----------
+    t_sim:
+        The chosen simulator evolution time (µs).
+    per_component:
+        Minimum feasible time of each component, keyed by the component's
+        first channel name (a stable identifier).
+    bottleneck:
+        Key of the slowest component.
+    """
+
+    t_sim: float
+    per_component: Dict[str, float]
+    bottleneck: str
+
+
+def optimize_evolution_time(
+    strategies: Sequence[LocalSolverStrategy],
+    alphas: Mapping[str, float],
+    t_floor: float = MIN_TIME_FLOOR,
+) -> TimeOptimizationResult:
+    """Choose the shortest evolution time every component can honour.
+
+    Parameters
+    ----------
+    strategies:
+        One solver per local component.
+    alphas:
+        Synthesized-variable targets from the global linear solve.
+    t_floor:
+        Lower bound on the returned time.
+
+    Raises
+    ------
+    InfeasibleError:
+        When some component cannot realize its targets at any time
+        (e.g. a negative Van der Waals target).
+    """
+    per_component: Dict[str, float] = {}
+    bottleneck_key = ""
+    bottleneck_time = 0.0
+    for strategy in strategies:
+        key = strategy.component.channels[0].name
+        minimum = strategy.minimum_time(alphas)
+        if math.isinf(minimum) or math.isnan(minimum):
+            raise InfeasibleError(
+                f"component starting at channel {key!r} cannot realize its "
+                "synthesized-variable targets at any evolution time"
+            )
+        per_component[key] = minimum
+        if minimum > bottleneck_time:
+            bottleneck_time = minimum
+            bottleneck_key = key
+    t_sim = max(bottleneck_time, t_floor)
+    if not bottleneck_key:
+        # All targets are zero: any component is nominally the bottleneck.
+        bottleneck_key = next(iter(per_component), "")
+    return TimeOptimizationResult(
+        t_sim=t_sim,
+        per_component=per_component,
+        bottleneck=bottleneck_key,
+    )

@@ -1,0 +1,23 @@
+"""Device models: hardware constraints behind each AAIS."""
+
+from repro.devices.base import DeviceSpec, Geometry1D, TrapGeometry
+from repro.devices.heisenberg import HeisenbergSpec, ibm_like_spec, ionq_like_spec
+from repro.devices.rydberg import (
+    AQUILA_C6,
+    RydbergSpec,
+    aquila_spec,
+    paper_example_spec,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "Geometry1D",
+    "TrapGeometry",
+    "RydbergSpec",
+    "HeisenbergSpec",
+    "aquila_spec",
+    "paper_example_spec",
+    "ibm_like_spec",
+    "ionq_like_spec",
+    "AQUILA_C6",
+]

@@ -1,0 +1,76 @@
+"""Device specifications: the hardware constraints behind an AAIS.
+
+A device spec owns the numeric limits (amplitude bounds, geometry, maximum
+program duration) and knows how to build the matching AAIS.  Units follow
+DESIGN.md: angular frequency in rad/µs, length in µm, time in µs.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.errors import DeviceConstraintError
+
+__all__ = ["DeviceSpec", "TrapGeometry", "Geometry1D"]
+
+
+@dataclass(frozen=True)
+class TrapGeometry:
+    """The trap region available for atom placement.
+
+    Attributes
+    ----------
+    extent:
+        Side length of the region (µm).  1-D positions live in
+        ``[0, extent]``; 2-D positions live in ``[0, extent]²``.
+    min_spacing:
+        Minimum allowed distance between any two atoms (µm).
+    dimension:
+        1 for a linear trap, 2 for a planar trap (Aquila is planar).
+    """
+
+    extent: float
+    min_spacing: float
+    dimension: int = 1
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise DeviceConstraintError("geometry extent must be positive")
+        if not 0 < self.min_spacing < self.extent:
+            raise DeviceConstraintError(
+                "min_spacing must lie strictly between 0 and extent"
+            )
+        if self.dimension not in (1, 2):
+            raise DeviceConstraintError("dimension must be 1 or 2")
+
+    @property
+    def max_distance(self) -> float:
+        """Largest possible pairwise separation inside the trap."""
+        return self.extent * math.sqrt(self.dimension)
+
+
+#: Backwards-compatible alias — a 1-D trap region.
+Geometry1D = TrapGeometry
+
+
+class DeviceSpec(abc.ABC):
+    """Common interface of device specifications."""
+
+    #: Human-readable device name.
+    name: str
+    #: Hard cap on total program execution time (µs); None = uncapped.
+    max_time: float
+
+    @abc.abstractmethod
+    def build_aais(self, num_sites: int):
+        """Construct the AAIS exposing this device's instructions."""
+
+    def check_duration(self, duration: float) -> None:
+        """Raise when a schedule exceeds the device's time budget."""
+        if self.max_time is not None and duration > self.max_time + 1e-9:
+            raise DeviceConstraintError(
+                f"{self.name}: schedule duration {duration:g} µs exceeds "
+                f"device maximum {self.max_time:g} µs"
+            )

@@ -1,0 +1,86 @@
+"""Heisenberg-device specifications (superconducting / trapped-ion style).
+
+The Heisenberg AAIS (paper Section 2.1.2) exposes one amplitude per
+single-qubit Pauli and one per coupled two-qubit Pauli pair; every
+amplitude is runtime dynamic.  Two-qubit drives exist only on edges of the
+device connectivity graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.devices.base import DeviceSpec
+from repro.errors import DeviceConstraintError
+
+__all__ = ["HeisenbergSpec", "ibm_like_spec", "ionq_like_spec"]
+
+_TOPOLOGIES = ("chain", "cycle", "all")
+
+
+@dataclass(frozen=True)
+class HeisenbergSpec(DeviceSpec):
+    """Constraints of a Heisenberg-AAIS device.
+
+    Attributes
+    ----------
+    single_max:
+        Bound on single-qubit drive amplitudes: a ∈ [-single_max, single_max].
+    pair_max:
+        Bound on two-qubit drive amplitudes.
+    topology:
+        Which qubit pairs carry two-qubit drives: ``"chain"``, ``"cycle"``
+        or ``"all"``.
+    max_time:
+        Program-duration cap (µs).
+    """
+
+    name: str = "heisenberg"
+    single_max: float = 2.0
+    pair_max: float = 0.5
+    topology: str = "chain"
+    max_time: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.single_max <= 0 or self.pair_max <= 0:
+            raise DeviceConstraintError("amplitude bounds must be positive")
+        if self.topology not in _TOPOLOGIES:
+            raise DeviceConstraintError(
+                f"topology must be one of {_TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.max_time is not None and self.max_time <= 0:
+            raise DeviceConstraintError("max_time must be positive")
+
+    def edges(self, num_sites: int) -> List[Tuple[int, int]]:
+        """Coupled qubit pairs under this topology."""
+        if num_sites < 1:
+            raise DeviceConstraintError("num_sites must be >= 1")
+        if self.topology == "chain":
+            return [(i, i + 1) for i in range(num_sites - 1)]
+        if self.topology == "cycle":
+            if num_sites < 3:
+                return [(i, i + 1) for i in range(num_sites - 1)]
+            return [(i, (i + 1) % num_sites) for i in range(num_sites)]
+        return [
+            (i, j) for i in range(num_sites) for j in range(i + 1, num_sites)
+        ]
+
+    def build_aais(self, num_sites: int):
+        from repro.aais.heisenberg import HeisenbergAAIS
+
+        return HeisenbergAAIS(num_sites, spec=self)
+
+
+def ibm_like_spec(topology: str = "chain") -> HeisenbergSpec:
+    """A superconducting-flavoured spec: weak pair couplings on a line."""
+    return HeisenbergSpec(
+        name="ibm-like", single_max=2.0, pair_max=0.5, topology=topology
+    )
+
+
+def ionq_like_spec() -> HeisenbergSpec:
+    """A trapped-ion-flavoured spec: all-to-all connectivity."""
+    return HeisenbergSpec(
+        name="ionq-like", single_max=1.0, pair_max=0.25, topology="all"
+    )

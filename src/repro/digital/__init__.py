@@ -1,0 +1,19 @@
+"""Digital (Trotterized) simulation comparator — the paper's Section-1 foil."""
+
+from repro.digital.trotter import (
+    GateCounts,
+    commutator_bound_sum,
+    gate_counts,
+    trotter_error_bound,
+    trotter_evolve,
+    trotter_steps_required,
+)
+
+__all__ = [
+    "commutator_bound_sum",
+    "trotter_error_bound",
+    "trotter_steps_required",
+    "GateCounts",
+    "gate_counts",
+    "trotter_evolve",
+]

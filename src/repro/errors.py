@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HamiltonianError",
+    "AAISError",
+    "CompilationError",
+    "InfeasibleError",
+    "DeviceConstraintError",
+    "ScheduleError",
+    "SimulationError",
+    "MappingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HamiltonianError(ReproError):
+    """Malformed Pauli strings or Hamiltonian expressions."""
+
+
+class AAISError(ReproError):
+    """Malformed abstract analog instruction sets or channels."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not produce a pulse schedule."""
+
+
+class InfeasibleError(CompilationError):
+    """No variable assignment satisfies the equation system and bounds."""
+
+
+class DeviceConstraintError(ReproError):
+    """A compiled schedule violates a hardware constraint."""
+
+
+class ScheduleError(ReproError):
+    """Malformed pulse schedules."""
+
+
+class SimulationError(ReproError):
+    """State-vector simulation failures."""
+
+
+class MappingError(ReproError):
+    """Target-to-simulator site mapping failures."""

@@ -1,0 +1,38 @@
+"""Hamiltonian representation: Pauli strings, expressions, time dependence."""
+
+from repro.hamiltonian.expression import (
+    Hamiltonian,
+    number_number,
+    number_op,
+    x,
+    xx,
+    y,
+    yy,
+    z,
+    zz,
+)
+from repro.hamiltonian.parser import format_hamiltonian, parse_hamiltonian
+from repro.hamiltonian.pauli import PauliString
+from repro.hamiltonian.time_dependent import (
+    PiecewiseHamiltonian,
+    Segment,
+    TimeDependentHamiltonian,
+)
+
+__all__ = [
+    "PauliString",
+    "parse_hamiltonian",
+    "format_hamiltonian",
+    "Hamiltonian",
+    "PiecewiseHamiltonian",
+    "Segment",
+    "TimeDependentHamiltonian",
+    "x",
+    "y",
+    "z",
+    "zz",
+    "xx",
+    "yy",
+    "number_op",
+    "number_number",
+]

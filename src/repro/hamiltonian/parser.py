@@ -1,0 +1,143 @@
+"""A small text format for Hamiltonians.
+
+Grammar (whitespace-insensitive)::
+
+    hamiltonian :=  term (("+" | "-") term)*
+    term        :=  [coefficient "*"] factor ("*" factor)*
+    factor      :=  ("X" | "Y" | "Z" | "N") index
+    coefficient :=  float
+
+``N`` is the Rydberg occupation :math:`\\hat n = (I - Z)/2`, which
+expands into its Pauli form.  Examples::
+
+    "Z0*Z1 + Z1*Z2 + X0 + X1 + X2"          # 3-qubit Ising chain
+    "0.5*Z0*Z1 - 1.2*X0"
+    "2*N0*N1 + 0.5*X0"                       # blockade interaction
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.expression import Hamiltonian, number_op, x, y, z
+
+__all__ = ["parse_hamiltonian", "format_hamiltonian"]
+
+_FACTOR = re.compile(r"^([XYZN])(\d+)$", re.IGNORECASE)
+_BUILDERS = {"X": x, "Y": y, "Z": z, "N": number_op}
+
+
+def _split_terms(text: str) -> List[Tuple[float, str]]:
+    """Split on top-level +/- into (sign, term-text) pairs."""
+    cleaned = text.strip()
+    if not cleaned:
+        raise HamiltonianError("empty Hamiltonian expression")
+    terms: List[Tuple[float, str]] = []
+    sign = 1.0
+    token = []
+    previous_solid = ""
+    for char in cleaned:
+        # A +/- directly after an exponent marker belongs to a float
+        # literal ("1e-05"), not to the term structure.
+        if char in "+-" and previous_solid not in ("e", "E"):
+            if token and "".join(token).strip():
+                terms.append((sign, "".join(token).strip()))
+                token = []
+            elif token:
+                token = []
+            sign = 1.0 if char == "+" else -1.0
+            previous_solid = ""
+            continue
+        token.append(char)
+        if not char.isspace():
+            previous_solid = char
+    if not token or not "".join(token).strip():
+        raise HamiltonianError(f"dangling operator in {text!r}")
+    terms.append((sign, "".join(token).strip()))
+    return terms
+
+
+def _parse_term(sign: float, term: str) -> Hamiltonian:
+    factors = [f.strip() for f in term.split("*") if f.strip()]
+    if not factors:
+        raise HamiltonianError(f"empty term in expression: {term!r}")
+    coefficient = sign
+    result: Hamiltonian = None  # type: ignore[assignment]
+    for factor in factors:
+        match = _FACTOR.match(factor)
+        if match:
+            label = match.group(1).upper()
+            qubit = int(match.group(2))
+            piece = _BUILDERS[label](qubit)
+            result = piece if result is None else _product(result, piece)
+        else:
+            try:
+                coefficient *= float(factor)
+            except ValueError:
+                raise HamiltonianError(
+                    f"unrecognized factor {factor!r} in term {term!r}"
+                ) from None
+    if result is None:
+        # A pure number: a multiple of the identity.
+        from repro.hamiltonian.pauli import PauliString
+
+        return Hamiltonian({PauliString.identity(): coefficient})
+    return coefficient * result
+
+
+def _product(a: Hamiltonian, b: Hamiltonian) -> Hamiltonian:
+    """Operator product of two Pauli-basis expressions.
+
+    Used only for factor chains like ``N0*N1`` — each factor is a small
+    expression, so the double loop stays cheap.
+    """
+    from repro.hamiltonian.pauli import PauliString
+
+    terms = {}
+    for sa, ca in a.terms.items():
+        for sb, cb in b.terms.items():
+            phase, string = sa * sb
+            if abs(phase.imag) > 1e-12:
+                raise HamiltonianError(
+                    "factor product produced a non-Hermitian term; "
+                    "repeated anticommuting factors are not supported"
+                )
+            terms[string] = terms.get(string, 0.0) + ca * cb * phase.real
+    return Hamiltonian(terms)
+
+
+def parse_hamiltonian(text: str) -> Hamiltonian:
+    """Parse the textual Hamiltonian format described in the module doc."""
+    result = Hamiltonian.zero()
+    for sign, term in _split_terms(text):
+        result = result + _parse_term(sign, term)
+    return result
+
+
+def format_hamiltonian(hamiltonian: Hamiltonian, precision: int = 12) -> str:
+    """Render a Hamiltonian in the parseable text format.
+
+    ``parse_hamiltonian(format_hamiltonian(h))`` reproduces ``h`` up to
+    floating-point rounding at the given precision.
+    """
+    if hamiltonian.is_zero:
+        return "0"
+    parts = []
+    for string, coeff in hamiltonian:
+        if string.is_identity:
+            factor_text = f"{coeff:.{precision}g}"
+        else:
+            factors = "*".join(
+                f"{label}{qubit}" for qubit, label in string.ops
+            )
+            if coeff == 1.0:
+                factor_text = factors
+            elif coeff == -1.0:
+                factor_text = f"-{factors}"
+            else:
+                factor_text = f"{coeff:.{precision}g}*{factors}"
+        parts.append(factor_text)
+    text = " + ".join(parts)
+    return text.replace("+ -", "- ")

@@ -1,0 +1,172 @@
+"""Time-dependent Hamiltonians and their piecewise-constant discretization.
+
+The compiler natively handles time-independent Hamiltonians; following the
+paper (Section 5.3), a time-dependent Hamiltonian ``H(t)`` is approximated
+by a :class:`PiecewiseHamiltonian` — a sequence of ``(duration, H)``
+segments where each ``H`` is constant — sampled at segment midpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.expression import Hamiltonian
+
+__all__ = ["Segment", "PiecewiseHamiltonian", "TimeDependentHamiltonian"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One piecewise-constant interval of target evolution.
+
+    Attributes
+    ----------
+    duration:
+        Target evolution time of the segment (µs); strictly positive.
+    hamiltonian:
+        The constant Hamiltonian driving the segment.
+    """
+
+    duration: float
+    hamiltonian: Hamiltonian
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise HamiltonianError(
+                f"segment duration must be positive, got {self.duration}"
+            )
+
+
+class PiecewiseHamiltonian:
+    """An ordered sequence of constant-Hamiltonian segments."""
+
+    def __init__(self, segments: Sequence[Segment]):
+        if not segments:
+            raise HamiltonianError("a piecewise Hamiltonian needs >= 1 segment")
+        self._segments: Tuple[Segment, ...] = tuple(segments)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[float, Hamiltonian]]
+    ) -> "PiecewiseHamiltonian":
+        return cls([Segment(d, h) for d, h in pairs])
+
+    @classmethod
+    def constant(
+        cls, hamiltonian: Hamiltonian, duration: float
+    ) -> "PiecewiseHamiltonian":
+        """A single-segment (time-independent) piecewise Hamiltonian."""
+        return cls([Segment(duration, hamiltonian)])
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._segments
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    def total_duration(self) -> float:
+        return sum(s.duration for s in self._segments)
+
+    def num_qubits(self) -> int:
+        return max(s.hamiltonian.num_qubits() for s in self._segments)
+
+    def boundaries(self) -> List[float]:
+        """Cumulative segment start/end times, beginning at 0."""
+        times = [0.0]
+        for segment in self._segments:
+            times.append(times[-1] + segment.duration)
+        return times
+
+    def hamiltonian_at(self, t: float) -> Hamiltonian:
+        """The constant Hamiltonian active at absolute time ``t``.
+
+        ``t`` at a boundary resolves to the following segment; ``t`` at the
+        final boundary resolves to the last segment.
+        """
+        total = self.total_duration()
+        if t < 0 or t > total + 1e-12:
+            raise HamiltonianError(
+                f"time {t} outside evolution window [0, {total}]"
+            )
+        elapsed = 0.0
+        for segment in self._segments:
+            elapsed += segment.duration
+            if t < elapsed:
+                return segment.hamiltonian
+        return self._segments[-1].hamiltonian
+
+    def __iter__(self):
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseHamiltonian({self.num_segments} segments, "
+            f"T={self.total_duration():g})"
+        )
+
+
+class TimeDependentHamiltonian:
+    """A Hamiltonian with continuously time-varying coefficients.
+
+    Parameters
+    ----------
+    builder:
+        Callable ``t -> Hamiltonian`` returning the instantaneous
+        Hamiltonian at time ``t``.
+    duration:
+        Total target evolution time.
+
+    The MIS-chain model of Table 2 is the canonical example: its
+    ``(1 - 2t)U`` detuning coefficient sweeps linearly in time.
+    """
+
+    def __init__(self, builder: Callable[[float], Hamiltonian], duration: float):
+        if duration <= 0:
+            raise HamiltonianError(
+                f"evolution duration must be positive, got {duration}"
+            )
+        self._builder = builder
+        self._duration = float(duration)
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def at(self, t: float) -> Hamiltonian:
+        """Instantaneous Hamiltonian ``H(t)``."""
+        if t < -1e-12 or t > self._duration + 1e-12:
+            raise HamiltonianError(
+                f"time {t} outside evolution window [0, {self._duration}]"
+            )
+        hamiltonian = self._builder(t)
+        if not isinstance(hamiltonian, Hamiltonian):
+            raise HamiltonianError(
+                "time-dependent builder must return a Hamiltonian, got "
+                f"{type(hamiltonian).__name__}"
+            )
+        return hamiltonian
+
+    def discretize(self, num_segments: int) -> PiecewiseHamiltonian:
+        """Midpoint-sampled piecewise-constant approximation.
+
+        This is the discretization the paper applies before compiling
+        time-dependent targets (four segments in Figure 5(b)).
+        """
+        if num_segments < 1:
+            raise HamiltonianError("num_segments must be >= 1")
+        width = self._duration / num_segments
+        segments = [
+            Segment(width, self.at((k + 0.5) * width))
+            for k in range(num_segments)
+        ]
+        return PiecewiseHamiltonian(segments)
+
+    def __repr__(self) -> str:
+        return f"TimeDependentHamiltonian(T={self._duration:g})"

@@ -1,0 +1,15 @@
+"""Error mitigation for analog pulse schedules (zero-noise extrapolation)."""
+
+from repro.mitigation.zne import (
+    ZNEResult,
+    richardson_extrapolate,
+    stretch_schedule,
+    zne_observables,
+)
+
+__all__ = [
+    "stretch_schedule",
+    "richardson_extrapolate",
+    "ZNEResult",
+    "zne_observables",
+]

@@ -1,0 +1,23 @@
+"""Benchmark model library (Table 2 of the paper)."""
+
+from repro.models.ising import ising_chain, ising_cycle, ising_cycle_plus
+from repro.models.lattice import grid_edges, ising_grid
+from repro.models.mis import mis_chain, mis_chain_at
+from repro.models.registry import MODEL_BUILDERS, build_model, model_names
+from repro.models.spin_models import heisenberg_chain, kitaev_chain, pxp_chain
+
+__all__ = [
+    "ising_chain",
+    "ising_cycle",
+    "ising_cycle_plus",
+    "kitaev_chain",
+    "heisenberg_chain",
+    "pxp_chain",
+    "mis_chain",
+    "ising_grid",
+    "grid_edges",
+    "mis_chain_at",
+    "MODEL_BUILDERS",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,58 @@
+"""The time-dependent MIS-chain model (Table 2; Ebadi et al. 2022).
+
+An adiabatic sweep for the maximum-independent-set problem on a chain:
+
+.. math::
+
+    H(t) = \\sum_i \\big[(1 - 2t)\\,U\\,\\hat n_i + \\tfrac{\\omega}{2} X_i\\big]
+         + \\sum_{i<N} \\alpha\\, \\hat n_i \\hat n_{i+1},
+
+with ``t`` in units of the sweep duration, so the detuning coefficient
+ramps linearly from ``+U`` to ``−U`` over the evolution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.expression import Hamiltonian, number_number, number_op, x
+from repro.hamiltonian.time_dependent import TimeDependentHamiltonian
+
+__all__ = ["mis_chain", "mis_chain_at"]
+
+
+def mis_chain_at(
+    n: int,
+    t_fraction: float,
+    u: float = 1.0,
+    omega: float = 1.0,
+    alpha: float = 1.0,
+) -> Hamiltonian:
+    """The instantaneous MIS-chain Hamiltonian at sweep fraction ``t``."""
+    if n < 2:
+        raise HamiltonianError("MIS chain needs at least 2 qubits")
+    detuning = (1.0 - 2.0 * t_fraction) * u
+    result = Hamiltonian.zero()
+    for i in range(n):
+        result = result + detuning * number_op(i) + (omega / 2.0) * x(i)
+    for i in range(n - 1):
+        result = result + alpha * number_number(i, i + 1)
+    return result
+
+
+def mis_chain(
+    n: int,
+    duration: float = 1.0,
+    u: float = 1.0,
+    omega: float = 1.0,
+    alpha: float = 1.0,
+) -> TimeDependentHamiltonian:
+    """The full time-dependent MIS sweep of length ``duration``."""
+    if duration <= 0:
+        raise HamiltonianError("sweep duration must be positive")
+
+    def builder(t: float) -> Hamiltonian:
+        return mis_chain_at(
+            n, t_fraction=t / duration, u=u, omega=omega, alpha=alpha
+        )
+
+    return TimeDependentHamiltonian(builder, duration)

@@ -1,0 +1,38 @@
+"""A small registry so benchmarks and examples can look models up by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.expression import Hamiltonian
+from repro.models.ising import ising_chain, ising_cycle, ising_cycle_plus
+from repro.models.spin_models import heisenberg_chain, kitaev_chain, pxp_chain
+
+__all__ = ["MODEL_BUILDERS", "build_model", "model_names"]
+
+#: Time-independent Table-2 models, keyed by their benchmark name.
+MODEL_BUILDERS: Dict[str, Callable[..., Hamiltonian]] = {
+    "ising_chain": ising_chain,
+    "ising_cycle": ising_cycle,
+    "ising_cycle_plus": ising_cycle_plus,
+    "kitaev": kitaev_chain,
+    "heisenberg_chain": heisenberg_chain,
+    "pxp": pxp_chain,
+}
+
+
+def model_names() -> List[str]:
+    """Registered model names, sorted."""
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, n: int, **params) -> Hamiltonian:
+    """Instantiate a registered model by name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise HamiltonianError(
+            f"unknown model {name!r}; known: {model_names()}"
+        ) from None
+    return builder(n, **params)

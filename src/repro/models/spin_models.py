@@ -1,0 +1,67 @@
+"""Kitaev, Heisenberg-chain and PXP benchmark models (Table 2)."""
+
+from __future__ import annotations
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.expression import (
+    Hamiltonian,
+    number_number,
+    x,
+    xx,
+    yy,
+    z,
+    zz,
+)
+
+__all__ = ["kitaev_chain", "heisenberg_chain", "pxp_chain"]
+
+
+def kitaev_chain(
+    n: int, mu: float = 1.0, t: float = 1.0, h: float = 1.0
+) -> Hamiltonian:
+    """Kitaev wire in spin language:
+    ``(µ/2) Σ_{i<N} Z_i Z_{i+1} − Σ_i (t X_i + h Z_i)``."""
+    if n < 2:
+        raise HamiltonianError("Kitaev chain needs at least 2 qubits")
+    result = Hamiltonian.zero()
+    for i in range(n - 1):
+        result = result + (mu / 2.0) * zz(i, i + 1)
+    for i in range(n):
+        result = result - t * x(i) - h * z(i)
+    return result
+
+
+def heisenberg_chain(n: int, j: float = 1.0, h: float = 1.0) -> Hamiltonian:
+    """Heisenberg chain:
+    ``J Σ_{i<N} (X_iX_{i+1} + Y_iY_{i+1} + Z_iZ_{i+1}) + h Σ_i X_i``."""
+    if n < 2:
+        raise HamiltonianError("Heisenberg chain needs at least 2 qubits")
+    result = Hamiltonian.zero()
+    for i in range(n - 1):
+        result = (
+            result
+            + j * xx(i, i + 1)
+            + j * yy(i, i + 1)
+            + j * zz(i, i + 1)
+        )
+    for i in range(n):
+        result = result + h * x(i)
+    return result
+
+
+def pxp_chain(n: int, j: float = 1.0, h: float = 1.0) -> Hamiltonian:
+    """PXP / Rydberg-blockade chain (Turner et al. 2018):
+    ``J Σ_{i<N} n̂_i n̂_{i+1} + h Σ_i X_i``.
+
+    With ``J ≫ h`` the blockade constraint makes this equivalent to
+    ``h Σ P_{i−1} X_i P_{i+1}`` (the PXP model); the Figure-6(b)
+    experiment uses J/h = 10 to stay in that regime.
+    """
+    if n < 2:
+        raise HamiltonianError("PXP chain needs at least 2 qubits")
+    result = Hamiltonian.zero()
+    for i in range(n - 1):
+        result = result + j * number_number(i, i + 1)
+    for i in range(n):
+        result = result + h * x(i)
+    return result

@@ -1,0 +1,21 @@
+"""Pulse schedules and export formats."""
+
+from repro.pulse.export import to_ahs_program, to_json
+from repro.pulse.schedule import PulseSchedule, PulseSegment
+from repro.pulse.waveform import (
+    SlewLimits,
+    Waveform,
+    ramp_error_bound,
+    schedule_to_waveforms,
+)
+
+__all__ = [
+    "PulseSchedule",
+    "PulseSegment",
+    "to_json",
+    "to_ahs_program",
+    "Waveform",
+    "SlewLimits",
+    "schedule_to_waveforms",
+    "ramp_error_bound",
+]

@@ -1,0 +1,77 @@
+"""Schedule export helpers.
+
+The primary format mirrors the structure of Amazon Braket's Analog
+Hamiltonian Simulation (AHS) programs for Rydberg devices — a *register*
+of atom coordinates plus global driving-field time series — without
+depending on Braket itself.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.aais.rydberg import RydbergAAIS
+from repro.errors import ScheduleError
+from repro.pulse.schedule import PulseSchedule
+
+__all__ = ["to_json", "to_ahs_program"]
+
+
+def to_json(schedule: PulseSchedule, indent: int = 2) -> str:
+    """Serialize a schedule to JSON."""
+    return json.dumps(schedule.to_dict(), indent=indent, sort_keys=True)
+
+
+def to_ahs_program(schedule: PulseSchedule) -> Dict:
+    """An AHS-like program dictionary for a Rydberg schedule.
+
+    The drive fields are piecewise-constant time series sampled at
+    segment boundaries, matching how the compiled program would be
+    submitted to a neutral-atom device.
+    """
+    aais = schedule.aais
+    if not isinstance(aais, RydbergAAIS):
+        raise ScheduleError(
+            "AHS export only applies to Rydberg schedules, got "
+            f"{type(aais).__name__}"
+        )
+    register: List[List[float]] = []
+    for coords in aais.positions(schedule.fixed_values):
+        point = list(coords)
+        if len(point) == 1:
+            point.append(0.0)
+        register.append(point)
+
+    times: List[float] = [0.0]
+    omega: List[float] = []
+    delta: List[float] = []
+    phi: List[float] = []
+    for segment in schedule.segments:
+        values = segment.dynamic_values
+        omega.append(_mean_over_sites(values, "omega", aais.num_sites))
+        delta.append(_mean_over_sites(values, "delta", aais.num_sites))
+        phi.append(_mean_over_sites(values, "phi", aais.num_sites))
+        times.append(times[-1] + segment.duration)
+    return {
+        "register": register,
+        "driving_field": {
+            "times": times,
+            "omega": omega,
+            "delta": delta,
+            "phi": phi,
+        },
+        "total_duration": schedule.total_duration,
+    }
+
+
+def _mean_over_sites(values: Dict[str, float], prefix: str, n: int) -> float:
+    """Global value of a drive: the shared variable or per-site mean."""
+    if prefix in values:
+        return float(values[prefix])
+    collected = [
+        values[f"{prefix}_{i}"] for i in range(n) if f"{prefix}_{i}" in values
+    ]
+    if not collected:
+        raise ScheduleError(f"no {prefix} values found in segment")
+    return float(sum(collected) / len(collected))

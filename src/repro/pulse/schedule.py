@@ -1,0 +1,172 @@
+"""Pulse schedules: the compiler's executable output.
+
+A schedule is a sequence of :class:`PulseSegment` s.  Within a segment the
+runtime-dynamic variables hold constant values; runtime-fixed variables
+(atom positions) are shared across all segments, mirroring the hardware
+reality that atoms cannot move once a program starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.aais.base import AAIS
+from repro.errors import ScheduleError
+
+__all__ = ["PulseSegment", "PulseSchedule"]
+
+
+@dataclass(frozen=True)
+class PulseSegment:
+    """Constant drive settings over one interval.
+
+    Attributes
+    ----------
+    duration:
+        Segment length (µs), strictly positive.
+    dynamic_values:
+        Values of every runtime-dynamic variable during the segment.
+    """
+
+    duration: float
+    dynamic_values: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ScheduleError(
+                f"segment duration must be positive, got {self.duration}"
+            )
+
+
+class PulseSchedule:
+    """An executable analog program for a specific AAIS.
+
+    Parameters
+    ----------
+    aais:
+        The instruction set the schedule targets.
+    fixed_values:
+        Runtime-fixed variable assignment (e.g. atom positions).
+    segments:
+        Dynamic-variable settings per interval, in execution order.
+    """
+
+    def __init__(
+        self,
+        aais: AAIS,
+        fixed_values: Mapping[str, float],
+        segments: Sequence[PulseSegment],
+    ):
+        if not segments:
+            raise ScheduleError("a schedule needs at least one segment")
+        self.aais = aais
+        self.fixed_values: Dict[str, float] = dict(fixed_values)
+        self.segments: Tuple[PulseSegment, ...] = tuple(segments)
+        self._validate_coverage()
+
+    def _validate_coverage(self) -> None:
+        fixed_names = {v.name for v in self.aais.fixed_variables}
+        dynamic_names = {v.name for v in self.aais.dynamic_variables}
+        missing_fixed = fixed_names - set(self.fixed_values)
+        if missing_fixed:
+            raise ScheduleError(
+                f"schedule missing fixed variables: {sorted(missing_fixed)}"
+            )
+        for index, segment in enumerate(self.segments):
+            missing = dynamic_names - set(segment.dynamic_values)
+            if missing:
+                raise ScheduleError(
+                    f"segment {index} missing dynamic variables: "
+                    f"{sorted(missing)}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_duration(self) -> float:
+        """Total execution time on the device (µs)."""
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def values_at_segment(self, index: int) -> Dict[str, float]:
+        """Full variable assignment (fixed + dynamic) for one segment."""
+        values = dict(self.fixed_values)
+        values.update(self.segments[index].dynamic_values)
+        return values
+
+    def hamiltonian_at_segment(self, index: int):
+        """The simulator Hamiltonian realized during one segment."""
+        return self.aais.hamiltonian(self.values_at_segment(index))
+
+    def validate(self, tol: float = 1e-6) -> List[str]:
+        """All hardware-constraint violations of the schedule."""
+        problems: List[str] = []
+        for index in range(self.num_segments):
+            values = self.values_at_segment(index)
+            for issue in self.aais.validate_values(values, tol=tol):
+                problems.append(f"segment {index}: {issue}")
+        spacing_check = getattr(self.aais, "spacing_violations", None)
+        if spacing_check is not None:
+            problems.extend(spacing_check(self.fixed_values))
+        spec = getattr(self.aais, "spec", None)
+        if spec is not None and getattr(spec, "max_time", None) is not None:
+            if self.total_duration > spec.max_time + tol:
+                problems.append(
+                    f"total duration {self.total_duration:g} µs exceeds "
+                    f"device maximum {spec.max_time:g} µs"
+                )
+        return problems
+
+    @classmethod
+    def from_dict(cls, aais: AAIS, data: Mapping) -> "PulseSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output.
+
+        The AAIS is supplied by the caller (the dictionary only records
+        its name); a name mismatch is rejected to catch mixed-up files.
+        """
+        recorded = data.get("aais")
+        if recorded is not None and recorded != aais.name:
+            raise ScheduleError(
+                f"schedule was exported from AAIS {recorded!r} but is "
+                f"being loaded into {aais.name!r}"
+            )
+        if data.get("num_sites") not in (None, aais.num_sites):
+            raise ScheduleError(
+                f"schedule has {data['num_sites']} sites, AAIS has "
+                f"{aais.num_sites}"
+            )
+        segments = [
+            PulseSegment(
+                duration=float(entry["duration"]),
+                dynamic_values={
+                    k: float(v) for k, v in entry["values"].items()
+                },
+            )
+            for entry in data["segments"]
+        ]
+        return cls(aais, fixed_values=data["fixed"], segments=segments)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (register + per-segment drives)."""
+        return {
+            "aais": self.aais.name,
+            "num_sites": self.aais.num_sites,
+            "fixed": dict(self.fixed_values),
+            "segments": [
+                {
+                    "duration": segment.duration,
+                    "values": dict(segment.dynamic_values),
+                }
+                for segment in self.segments
+            ],
+            "total_duration": self.total_duration,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PulseSchedule({self.aais.name}, segments={self.num_segments}, "
+            f"T={self.total_duration:g} µs)"
+        )

@@ -1,0 +1,110 @@
+"""Exact state-vector evolution under (piecewise-)constant Hamiltonians.
+
+This plays the role of both QuTiP (the paper's theory curves) and Bloqade
+(the pulse-level simulation of compiled schedules): evolve an initial
+state under ``exp(−i H t)`` segment by segment using
+:func:`scipy.sparse.linalg.expm_multiply`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import expm_multiply
+
+from repro.errors import SimulationError
+from repro.hamiltonian.expression import Hamiltonian
+from repro.hamiltonian.time_dependent import PiecewiseHamiltonian
+from repro.pulse.schedule import PulseSchedule
+from repro.sim.operators import hamiltonian_matrix
+
+__all__ = [
+    "ground_state",
+    "plus_state",
+    "evolve",
+    "evolve_piecewise",
+    "evolve_schedule",
+]
+
+
+def ground_state(num_qubits: int) -> np.ndarray:
+    """``|0…0⟩`` — all atoms in the ground state."""
+    if num_qubits < 1:
+        raise SimulationError("need at least 1 qubit")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def plus_state(num_qubits: int) -> np.ndarray:
+    """``|+⟩^⊗N`` — uniform superposition."""
+    if num_qubits < 1:
+        raise SimulationError("need at least 1 qubit")
+    dim = 2**num_qubits
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=complex)
+
+
+def _check_state(state: np.ndarray, num_qubits: int) -> np.ndarray:
+    state = np.asarray(state, dtype=complex)
+    if state.shape != (2**num_qubits,):
+        raise SimulationError(
+            f"state has dimension {state.shape}, expected (2^{num_qubits},)"
+        )
+    return state
+
+
+def evolve(
+    state: np.ndarray,
+    hamiltonian: Hamiltonian,
+    duration: float,
+    num_qubits: int,
+) -> np.ndarray:
+    """``exp(−i H t) |ψ⟩`` for a constant Hamiltonian."""
+    if duration < 0:
+        raise SimulationError(f"negative duration {duration}")
+    state = _check_state(state, num_qubits)
+    if duration == 0 or hamiltonian.is_zero:
+        return state.copy()
+    matrix = hamiltonian_matrix(hamiltonian, num_qubits)
+    return expm_multiply(-1j * duration * matrix.tocsc(), state)
+
+
+def evolve_piecewise(
+    state: np.ndarray,
+    target: PiecewiseHamiltonian,
+    num_qubits: int,
+) -> np.ndarray:
+    """Chain :func:`evolve` across all segments of a piecewise target."""
+    for segment in target.segments:
+        state = evolve(state, segment.hamiltonian, segment.duration, num_qubits)
+    return state
+
+
+def evolve_schedule(
+    state: np.ndarray,
+    schedule: PulseSchedule,
+    value_overrides: Optional[Sequence[dict]] = None,
+) -> np.ndarray:
+    """Evolve under the simulator Hamiltonian of a compiled schedule.
+
+    Parameters
+    ----------
+    state:
+        Initial state vector on ``schedule.aais.num_sites`` qubits.
+    schedule:
+        The compiled pulse program.
+    value_overrides:
+        Optional per-segment variable overrides (used by the noise model
+        to inject control errors); each entry updates that segment's
+        variable assignment before the Hamiltonian is built.
+    """
+    num_qubits = schedule.aais.num_sites
+    state = _check_state(state, num_qubits)
+    for index, segment in enumerate(schedule.segments):
+        values = schedule.values_at_segment(index)
+        if value_overrides is not None:
+            values.update(value_overrides[index])
+        hamiltonian = schedule.aais.hamiltonian(values)
+        state = evolve(state, hamiltonian, segment.duration, num_qubits)
+    return state

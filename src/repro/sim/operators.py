@@ -1,0 +1,99 @@
+"""Sparse-matrix realizations of Pauli strings and Hamiltonians.
+
+Qubit 0 is the most significant bit of the computational-basis index
+(``|q0 q1 … q_{N−1}⟩``), matching the convention of
+:mod:`repro.sim.sampling`.  Operators are built as CSR matrices via
+Kronecker products of 2×2 factors.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SimulationError
+from repro.hamiltonian.expression import Hamiltonian
+from repro.hamiltonian.pauli import PauliString
+
+__all__ = [
+    "pauli_matrix",
+    "pauli_string_matrix",
+    "hamiltonian_matrix",
+    "number_operator_matrix",
+]
+
+_SINGLE: Dict[str, np.ndarray] = {
+    "I": np.array([[1, 0], [0, 1]], dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+#: Dimension above which building a dense operator is refused.
+MAX_QUBITS = 16
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """The 2×2 matrix of a single-qubit Pauli (or identity)."""
+    try:
+        return _SINGLE[label].copy()
+    except KeyError:
+        raise SimulationError(f"unknown Pauli label {label!r}") from None
+
+
+def _check_size(num_qubits: int) -> None:
+    if num_qubits < 1:
+        raise SimulationError("operator needs at least 1 qubit")
+    if num_qubits > MAX_QUBITS:
+        raise SimulationError(
+            f"refusing to build a 2^{num_qubits}-dimensional operator "
+            f"(cap is {MAX_QUBITS} qubits)"
+        )
+
+
+@lru_cache(maxsize=4096)
+def _cached_string_matrix(
+    ops: tuple, num_qubits: int
+) -> sparse.csr_matrix:
+    result = sparse.identity(1, dtype=complex, format="csr")
+    op_map = dict(ops)
+    for qubit in range(num_qubits):
+        factor = _SINGLE[op_map.get(qubit, "I")]
+        result = sparse.kron(result, factor, format="csr")
+    return result
+
+
+def pauli_string_matrix(
+    string: PauliString, num_qubits: int
+) -> sparse.csr_matrix:
+    """CSR matrix of ``string`` embedded in ``num_qubits`` qubits."""
+    _check_size(num_qubits)
+    if string.max_qubit() >= num_qubits:
+        raise SimulationError(
+            f"string {string} touches qubit {string.max_qubit()} but the "
+            f"register has only {num_qubits} qubits"
+        )
+    return _cached_string_matrix(string.ops, num_qubits).copy()
+
+
+def hamiltonian_matrix(
+    hamiltonian: Hamiltonian, num_qubits: int
+) -> sparse.csr_matrix:
+    """CSR matrix ``Σ c_s · P_s`` of a Hamiltonian expression."""
+    _check_size(num_qubits)
+    dim = 2**num_qubits
+    result = sparse.csr_matrix((dim, dim), dtype=complex)
+    for string, coeff in hamiltonian.terms.items():
+        result = result + coeff * pauli_string_matrix(string, num_qubits)
+    return result
+
+
+def number_operator_matrix(qubit: int, num_qubits: int) -> sparse.csr_matrix:
+    """Matrix of the Rydberg occupation ``n̂ = (I − Z)/2`` on one qubit."""
+    _check_size(num_qubits)
+    identity = sparse.identity(2**num_qubits, dtype=complex, format="csr")
+    z = pauli_string_matrix(PauliString.single("Z", qubit), num_qubits)
+    return (identity - z) * 0.5

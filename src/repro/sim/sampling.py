@@ -1,0 +1,93 @@
+"""Shot sampling: measurement statistics from state vectors.
+
+Bitstrings use qubit 0 as the most significant bit, matching
+:mod:`repro.sim.operators`.  Observable estimators mirror how the paper's
+real-device metrics are computed from 1000-shot histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "sample_bitstrings",
+    "counts_from_samples",
+    "apply_readout_error",
+    "z_average_from_samples",
+    "zz_average_from_samples",
+]
+
+
+def sample_bitstrings(
+    state: np.ndarray,
+    shots: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample measurement outcomes; returns an ``(shots, N)`` 0/1 array."""
+    if shots < 1:
+        raise SimulationError("shots must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    probabilities = np.abs(np.asarray(state)) ** 2
+    total = probabilities.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state norm² is {total:.6f}, expected 1")
+    probabilities = probabilities / total
+    num_qubits = int(round(np.log2(len(probabilities))))
+    outcomes = rng.choice(len(probabilities), size=shots, p=probabilities)
+    bits = (
+        (outcomes[:, None] >> np.arange(num_qubits - 1, -1, -1)) & 1
+    ).astype(np.int8)
+    return bits
+
+
+def counts_from_samples(samples: np.ndarray) -> Dict[str, int]:
+    """Histogram of sampled bitstrings, keys like ``"0110"``."""
+    strings = ["".join(str(b) for b in row) for row in samples]
+    return dict(Counter(strings))
+
+
+def apply_readout_error(
+    samples: np.ndarray,
+    p01: float,
+    p10: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Flip measured bits with asymmetric SPAM probabilities.
+
+    ``p01`` is the probability of reading 1 when the state was 0;
+    ``p10`` the reverse.
+    """
+    if not (0 <= p01 <= 1 and 0 <= p10 <= 1):
+        raise SimulationError("readout probabilities must be in [0, 1]")
+    rng = rng if rng is not None else np.random.default_rng()
+    random = rng.random(samples.shape)
+    flip = np.where(samples == 0, random < p01, random < p10)
+    return np.where(flip, 1 - samples, samples).astype(np.int8)
+
+
+def z_average_from_samples(samples: np.ndarray) -> float:
+    """``(1/N) Σ_i ⟨Z_i⟩`` estimated from shots (Z = +1 for bit 0)."""
+    z_values = 1.0 - 2.0 * samples
+    return float(z_values.mean())
+
+
+def zz_average_from_samples(
+    samples: np.ndarray, periodic: bool = True
+) -> float:
+    """``(1/N) Σ_i ⟨Z_i Z_{i+1}⟩`` estimated from shots."""
+    z_values = 1.0 - 2.0 * samples.astype(float)
+    n = z_values.shape[1]
+    if n < 2:
+        raise SimulationError("ZZ average needs at least 2 qubits")
+    pairs = [(i, i + 1) for i in range(n - 1)]
+    if periodic and n > 2:
+        pairs.append((n - 1, 0))
+    correlations = [
+        (z_values[:, i] * z_values[:, j]).mean() for i, j in pairs
+    ]
+    return float(np.mean(correlations))

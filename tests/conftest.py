@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.devices import HeisenbergSpec, RydbergSpec, paper_example_spec
+from repro.devices.base import TrapGeometry
+
+
+@pytest.fixture
+def paper_aais():
+    """The Section-5 worked-example device: 3 atoms, Δ≤20, Ω≤2.5."""
+    return RydbergAAIS(3, spec=paper_example_spec())
+
+
+@pytest.fixture
+def chain_spec():
+    """A roomy 1-D Rydberg trap for chain benchmarks."""
+    return RydbergSpec(
+        name="test-chain",
+        delta_max=20.0,
+        omega_max=2.5,
+        geometry=TrapGeometry(extent=200.0, min_spacing=4.0, dimension=1),
+        max_time=4.0,
+    )
+
+
+@pytest.fixture
+def planar_spec():
+    """A 2-D Rydberg trap for cycle benchmarks."""
+    return RydbergSpec(
+        name="test-planar",
+        delta_max=20.0,
+        omega_max=2.5,
+        geometry=TrapGeometry(extent=80.0, min_spacing=4.0, dimension=2),
+        max_time=4.0,
+    )
+
+
+@pytest.fixture
+def heisenberg_aais():
+    return HeisenbergAAIS(4, spec=HeisenbergSpec())

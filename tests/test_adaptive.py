@@ -1,0 +1,78 @@
+"""Unit tests for adaptive time-dependent discretization."""
+
+import pytest
+
+from repro.core import adaptive_discretize
+from repro.errors import HamiltonianError
+from repro.hamiltonian import TimeDependentHamiltonian, x, z
+from repro.models import mis_chain
+
+
+def linear_ramp(duration=1.0, rate=2.0):
+    return TimeDependentHamiltonian(
+        lambda t: (rate * t) * z(0) + x(0), duration
+    )
+
+
+class TestAdaptiveDiscretize:
+    def test_constant_hamiltonian_single_segment(self):
+        td = TimeDependentHamiltonian(lambda t: x(0), 1.0)
+        result = adaptive_discretize(td, tol=1e-6)
+        assert result.piecewise.num_segments == 1
+        assert result.error_bound == pytest.approx(0.0, abs=1e-12)
+
+    def test_ramp_splits_until_tolerance(self):
+        result = adaptive_discretize(linear_ramp(), tol=0.05)
+        assert result.piecewise.num_segments > 1
+        assert result.error_bound <= 0.05 * result.piecewise.num_segments
+
+    def test_tighter_tolerance_more_segments(self):
+        loose = adaptive_discretize(linear_ramp(), tol=0.2)
+        tight = adaptive_discretize(linear_ramp(), tol=0.02)
+        assert (
+            tight.piecewise.num_segments > loose.piecewise.num_segments
+        )
+
+    def test_duration_preserved(self):
+        result = adaptive_discretize(linear_ramp(duration=2.0), tol=0.1)
+        assert result.piecewise.total_duration() == pytest.approx(2.0)
+
+    def test_segments_ordered_and_contiguous(self):
+        result = adaptive_discretize(linear_ramp(), tol=0.05)
+        boundaries = result.piecewise.boundaries()
+        assert boundaries[0] == 0.0
+        assert boundaries[-1] == pytest.approx(1.0)
+        assert all(
+            b > a for a, b in zip(boundaries, boundaries[1:])
+        )
+
+    def test_max_segments_cap(self):
+        with pytest.raises(HamiltonianError):
+            adaptive_discretize(linear_ramp(rate=100.0), tol=1e-6,
+                                max_segments=8)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(HamiltonianError):
+            adaptive_discretize(linear_ramp(), tol=0.0)
+
+    def test_mis_chain_end_to_end(self, chain_spec):
+        from repro import QTurboCompiler
+        from repro.aais import RydbergAAIS
+
+        td = mis_chain(4, duration=1.0)
+        result = adaptive_discretize(td, tol=0.3, min_segments=2)
+        aais = RydbergAAIS(4, spec=chain_spec)
+        compiled = QTurboCompiler(aais).compile_piecewise(result.piecewise)
+        assert compiled.success
+        assert len(compiled.segments) == result.piecewise.num_segments
+
+    def test_midpoint_values_sampled(self):
+        td = linear_ramp()
+        result = adaptive_discretize(td, tol=0.05)
+        z0 = z(0).pauli_strings()[0]
+        boundaries = result.piecewise.boundaries()
+        for k, segment in enumerate(result.piecewise.segments):
+            midpoint = 0.5 * (boundaries[k] + boundaries[k + 1])
+            assert segment.hamiltonian.coefficient(z0) == pytest.approx(
+                2.0 * midpoint
+            )

@@ -1,0 +1,62 @@
+"""Tests for the sweep harness that powers the Figure-3/4 benchmarks."""
+
+import math
+
+import pytest
+
+from repro.aais import HeisenbergAAIS
+from repro.analysis import SweepResult, run_sweep
+from repro.models import ising_chain
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        "ising_chain",
+        sizes=(3, 4),
+        build_model=ising_chain,
+        build_aais=lambda n: HeisenbergAAIS(n),
+        t_target=1.0,
+        baseline_seed=0,
+        baseline_kwargs={"max_restarts": 3},
+    )
+
+
+class TestRunSweep:
+    def test_one_point_per_size(self, small_sweep):
+        assert [p.size for p in small_sweep.points] == [3, 4]
+        assert all(p.model == "ising_chain" for p in small_sweep.points)
+
+    def test_rows_match_headers(self, small_sweep):
+        for row in small_sweep.rows():
+            assert len(row) == len(SweepResult.HEADERS)
+
+    def test_qturbo_always_succeeds(self, small_sweep):
+        assert all(
+            p.comparison.qturbo.success for p in small_sweep.points
+        )
+
+    def test_aggregates_finite(self, small_sweep):
+        speedup = small_sweep.average_speedup()
+        assert speedup is not None and speedup > 0
+
+    def test_execution_reduction_range(self, small_sweep):
+        reduction = small_sweep.average_execution_reduction()
+        if reduction is not None:
+            assert reduction <= 100.0
+
+    def test_empty_sweep_aggregates(self):
+        empty = SweepResult()
+        assert empty.average_speedup() is None
+        assert empty.average_execution_reduction() is None
+        assert empty.average_error_reduction() is None
+
+    def test_qturbo_kwargs_forwarded(self):
+        sweep = run_sweep(
+            "ising_chain",
+            sizes=(3,),
+            build_model=ising_chain,
+            build_aais=lambda n: HeisenbergAAIS(n),
+            qturbo_kwargs={"refine": False},
+        )
+        assert sweep.points[0].comparison.qturbo.success

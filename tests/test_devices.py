@@ -1,0 +1,112 @@
+"""Unit tests for device specifications."""
+
+import math
+
+import pytest
+
+from repro.devices import (
+    HeisenbergSpec,
+    RydbergSpec,
+    aquila_spec,
+    ibm_like_spec,
+    ionq_like_spec,
+    paper_example_spec,
+)
+from repro.devices.base import TrapGeometry
+from repro.errors import DeviceConstraintError
+
+
+class TestTrapGeometry:
+    def test_valid(self):
+        g = TrapGeometry(extent=75.0, min_spacing=4.0, dimension=2)
+        assert g.max_distance == pytest.approx(75.0 * math.sqrt(2))
+
+    def test_1d_max_distance(self):
+        assert TrapGeometry(75.0, 4.0, dimension=1).max_distance == 75.0
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(DeviceConstraintError):
+            TrapGeometry(extent=0.0, min_spacing=1.0)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(DeviceConstraintError):
+            TrapGeometry(extent=10.0, min_spacing=20.0)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(DeviceConstraintError):
+            TrapGeometry(extent=10.0, min_spacing=1.0, dimension=3)
+
+
+class TestRydbergSpec:
+    def test_defaults_are_aquila_like(self):
+        spec = RydbergSpec()
+        assert spec.c6 == pytest.approx(862690.0)
+        assert spec.max_time == 4.0
+
+    def test_rejects_nonpositive_amplitudes(self):
+        with pytest.raises(DeviceConstraintError):
+            RydbergSpec(delta_max=0.0)
+        with pytest.raises(DeviceConstraintError):
+            RydbergSpec(omega_max=-1.0)
+
+    def test_rejects_nonpositive_c6(self):
+        with pytest.raises(DeviceConstraintError):
+            RydbergSpec(c6=0.0)
+
+    def test_phi_covers_circle(self):
+        assert RydbergSpec().phi_max == pytest.approx(2 * math.pi)
+
+    def test_paper_example_values(self):
+        spec = paper_example_spec()
+        assert spec.delta_max == 20.0
+        assert spec.omega_max == 2.5
+        assert not spec.global_drive
+
+    def test_aquila_is_global(self):
+        assert aquila_spec().global_drive
+
+    def test_build_aais(self):
+        aais = RydbergSpec().build_aais(3)
+        assert aais.num_sites == 3
+
+    def test_check_duration(self):
+        spec = RydbergSpec(max_time=4.0)
+        spec.check_duration(3.9)
+        with pytest.raises(DeviceConstraintError):
+            spec.check_duration(4.5)
+
+
+class TestHeisenbergSpec:
+    def test_edges_chain(self):
+        assert HeisenbergSpec(topology="chain").edges(4) == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]
+
+    def test_edges_cycle(self):
+        edges = HeisenbergSpec(topology="cycle").edges(4)
+        assert (3, 0) in edges
+        assert len(edges) == 4
+
+    def test_edges_cycle_degenerates_for_two(self):
+        assert HeisenbergSpec(topology="cycle").edges(2) == [(0, 1)]
+
+    def test_edges_all(self):
+        assert len(HeisenbergSpec(topology="all").edges(5)) == 10
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(DeviceConstraintError):
+            HeisenbergSpec(topology="star")
+
+    def test_rejects_bad_amplitudes(self):
+        with pytest.raises(DeviceConstraintError):
+            HeisenbergSpec(single_max=0.0)
+
+    def test_presets(self):
+        assert ibm_like_spec().topology == "chain"
+        assert ionq_like_spec().topology == "all"
+
+    def test_build_aais(self):
+        aais = HeisenbergSpec().build_aais(3)
+        assert aais.num_sites == 3

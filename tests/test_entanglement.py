@@ -1,0 +1,107 @@
+"""Unit tests for partial trace and entanglement entropy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    bipartite_entropy,
+    ground_state,
+    partial_trace,
+    plus_state,
+    von_neumann_entropy,
+)
+
+
+def bell_state():
+    state = np.zeros(4, dtype=complex)
+    state[0b00] = state[0b11] = 1 / np.sqrt(2)
+    return state
+
+
+def ghz_state(n):
+    state = np.zeros(2**n, dtype=complex)
+    state[0] = state[-1] = 1 / np.sqrt(2)
+    return state
+
+
+class TestPartialTrace:
+    def test_product_state_reduces_to_pure(self):
+        rho = partial_trace(ground_state(3), keep=[0])
+        assert np.allclose(rho, [[1, 0], [0, 0]])
+
+    def test_bell_state_reduces_to_maximally_mixed(self):
+        rho = partial_trace(bell_state(), keep=[0])
+        assert np.allclose(rho, 0.5 * np.eye(2))
+
+    def test_trace_is_one(self):
+        rho = partial_trace(plus_state(4), keep=[1, 2])
+        assert np.trace(rho) == pytest.approx(1.0)
+
+    def test_keep_all_gives_projector(self):
+        state = plus_state(2)
+        rho = partial_trace(state, keep=[0, 1])
+        assert np.allclose(rho, np.outer(state, state.conj()))
+
+    def test_hermitian_and_psd(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state = state / np.linalg.norm(state)
+        rho = partial_trace(state, keep=[0, 2])
+        assert np.allclose(rho, rho.conj().T)
+        assert np.linalg.eigvalsh(rho).min() > -1e-12
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            partial_trace(ground_state(2), keep=[])
+        with pytest.raises(SimulationError):
+            partial_trace(ground_state(2), keep=[5])
+
+
+class TestEntropy:
+    def test_pure_state_zero(self):
+        rho = np.array([[1, 0], [0, 0]], dtype=complex)
+        assert von_neumann_entropy(rho) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximally_mixed_one_bit(self):
+        assert von_neumann_entropy(0.5 * np.eye(2)) == pytest.approx(1.0)
+
+    def test_base_e(self):
+        entropy = von_neumann_entropy(0.5 * np.eye(2), base=np.e)
+        assert entropy == pytest.approx(np.log(2))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(SimulationError):
+            von_neumann_entropy(np.zeros((2, 3)))
+
+
+class TestBipartiteEntropy:
+    def test_product_state(self):
+        assert bipartite_entropy(ground_state(4)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_bell_state_one_ebit(self):
+        assert bipartite_entropy(bell_state()) == pytest.approx(1.0)
+
+    def test_ghz_one_ebit_any_cut(self):
+        state = ghz_state(4)
+        for cut in (1, 2, 3):
+            assert bipartite_entropy(state, cut=cut) == pytest.approx(1.0)
+
+    def test_entropy_grows_under_entangling_dynamics(self):
+        from repro.hamiltonian import x, zz
+        from repro.sim import evolve
+
+        n = 4
+        h = zz(0, 1) + zz(1, 2) + zz(2, 3) + x(0) + x(1) + x(2) + x(3)
+        state = ground_state(n)
+        early = bipartite_entropy(evolve(state, h, 0.1, n))
+        later = bipartite_entropy(evolve(state, h, 0.8, n))
+        assert later > early
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            bipartite_entropy(ground_state(1))
+        with pytest.raises(SimulationError):
+            bipartite_entropy(ground_state(3), cut=3)

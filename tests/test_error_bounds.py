@@ -1,0 +1,37 @@
+"""Unit tests for the Theorem-1 error bound."""
+
+import pytest
+
+from repro.core.error_bounds import ErrorBudget, theorem1_bound
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        assert theorem1_bound(2.0, 0.1, [0.2, 0.3]) == pytest.approx(
+            2.0 * 0.5 + 0.1
+        )
+
+    def test_zero_everything(self):
+        assert theorem1_bound(0.0, 0.0, []) == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(-1.0, 0.0, [])
+        with pytest.raises(ValueError):
+            theorem1_bound(1.0, -0.1, [])
+        with pytest.raises(ValueError):
+            theorem1_bound(1.0, 0.0, [-0.1])
+
+    def test_budget_dataclass(self):
+        budget = ErrorBudget(
+            matrix_l1_norm=4.0,
+            linear_residual=0.01,
+            local_residuals=(0.1, 0.2),
+        )
+        assert budget.bound == pytest.approx(4.0 * 0.3 + 0.01)
+        assert budget.total_local_residual == pytest.approx(0.3)
+
+    def test_bound_monotone_in_local_error(self):
+        small = theorem1_bound(3.0, 0.0, [0.1])
+        large = theorem1_bound(3.0, 0.0, [0.2])
+        assert large > small

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "execution 0.8 µs" in out
+    assert "State fidelity" in out
+
+
+def test_mis_adiabatic_sweep():
+    out = run_example("mis_adiabatic_sweep.py")
+    assert "4-segment MIS sweep" in out
+    assert "fidelity vs discretized target" in out
+
+
+def test_heisenberg_device():
+    out = run_example("heisenberg_device.py")
+    assert "Heisenberg device comparison" in out
+
+
+def test_pxp_blockade():
+    out = run_example("pxp_blockade.py")
+    assert "PXP chain" in out
+    assert "4 µs cap" in out
+
+
+def test_digital_vs_analog():
+    out = run_example("digital_vs_analog.py")
+    assert "trotter_steps" in out
+
+
+def test_zne_mitigation():
+    out = run_example("zne_mitigation.py", timeout=900)
+    assert "mitigated" in out
+
+
+@pytest.mark.slow
+def test_pxp_scars():
+    out = run_example("pxp_scars.py", timeout=900)
+    assert "revival" in out
+
+
+@pytest.mark.slow
+def test_aquila_ising_cycle_fast_mode():
+    out = run_example("aquila_ising_cycle.py", "--fast", timeout=1200)
+    assert "Ising cycle on noisy Aquila" in out

@@ -1,0 +1,147 @@
+"""Unit tests for Hamiltonian expressions."""
+
+import pytest
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian import (
+    Hamiltonian,
+    PauliString,
+    number_number,
+    number_op,
+    x,
+    xx,
+    y,
+    yy,
+    z,
+    zz,
+)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Hamiltonian.zero().is_zero
+
+    def test_tiny_coefficients_dropped(self):
+        h = Hamiltonian({PauliString.single("X", 0): 1e-15})
+        assert h.is_zero
+
+    def test_rejects_complex_coefficient(self):
+        with pytest.raises(HamiltonianError):
+            Hamiltonian({PauliString.single("X", 0): 1 + 1j})
+
+    def test_accepts_real_valued_complex(self):
+        h = Hamiltonian({PauliString.single("X", 0): complex(2.0, 0.0)})
+        assert h.coefficient(PauliString.single("X", 0)) == 2.0
+
+    def test_rejects_non_pauli_keys(self):
+        with pytest.raises(HamiltonianError):
+            Hamiltonian({"X0": 1.0})  # type: ignore
+
+    def test_from_pairs_accumulates(self):
+        p = PauliString.single("Z", 0)
+        h = Hamiltonian.from_pairs([(p, 1.0), (p, 2.0)])
+        assert h.coefficient(p) == 3.0
+
+
+class TestAlgebra:
+    def test_addition_merges_terms(self):
+        h = x(0) + x(0)
+        assert h.coefficient(PauliString.single("X", 0)) == 2.0
+
+    def test_subtraction_cancels(self):
+        assert (x(0) - x(0)).is_zero
+
+    def test_scalar_multiplication(self):
+        h = 3.0 * x(1)
+        assert h.coefficient(PauliString.single("X", 1)) == 3.0
+
+    def test_division(self):
+        h = zz(0, 1) / 2
+        assert h.coefficient(PauliString.from_pairs([(0, "Z"), (1, "Z")])) == 0.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            x(0) / 0
+
+    def test_negation(self):
+        h = -z(0)
+        assert h.coefficient(PauliString.single("Z", 0)) == -1.0
+
+    def test_iteration_sorted(self):
+        h = z(3) + x(0)
+        strings = [s for s, _ in h]
+        assert strings == sorted(strings)
+
+
+class TestInspection:
+    def test_num_qubits(self):
+        assert (x(0) + z(4)).num_qubits() == 5
+        assert Hamiltonian.zero().num_qubits() == 0
+
+    def test_support(self):
+        assert (zz(1, 3) + x(5)).support() == (1, 3, 5)
+
+    def test_l1_norm(self):
+        h = 2 * x(0) - 3 * z(1)
+        assert h.l1_norm() == pytest.approx(5.0)
+
+    def test_without_identity(self):
+        h = number_op(0)  # 0.5 I - 0.5 Z
+        stripped = h.without_identity()
+        assert stripped.coefficient(PauliString.identity()) == 0.0
+        assert stripped.coefficient(PauliString.single("Z", 0)) == -0.5
+
+    def test_max_abs_coefficient(self):
+        h = 2 * x(0) - 7 * z(1)
+        assert h.max_abs_coefficient() == 7.0
+
+    def test_isclose(self):
+        a = x(0) + 1e-12 * z(1)
+        b = x(0)
+        assert a.isclose(b, tol=1e-9)
+        assert not (x(0) + z(1)).isclose(x(0))
+
+
+class TestConstructors:
+    def test_x_y_z(self):
+        assert x(0).coefficient(PauliString.single("X", 0)) == 1.0
+        assert y(1).coefficient(PauliString.single("Y", 1)) == 1.0
+        assert z(2).coefficient(PauliString.single("Z", 2)) == 1.0
+
+    def test_two_qubit_couplings(self):
+        assert zz(0, 1).num_terms == 1
+        assert xx(0, 1).coefficient(
+            PauliString.from_pairs([(0, "X"), (1, "X")])
+        ) == 1.0
+        assert yy(2, 5).coefficient(
+            PauliString.from_pairs([(2, "Y"), (5, "Y")])
+        ) == 1.0
+
+    def test_number_op_expansion(self):
+        h = number_op(2)
+        assert h.coefficient(PauliString.identity()) == 0.5
+        assert h.coefficient(PauliString.single("Z", 2)) == -0.5
+
+    def test_number_number_expansion(self):
+        h = number_number(0, 1)
+        assert h.coefficient(PauliString.identity()) == 0.25
+        assert h.coefficient(PauliString.single("Z", 0)) == -0.25
+        assert h.coefficient(PauliString.single("Z", 1)) == -0.25
+        assert (
+            h.coefficient(PauliString.from_pairs([(0, "Z"), (1, "Z")]))
+            == 0.25
+        )
+
+    def test_number_number_same_qubit_rejected(self):
+        with pytest.raises(HamiltonianError):
+            number_number(1, 1)
+
+
+class TestRelabeling:
+    def test_relabeled_hamiltonian(self):
+        h = zz(0, 1) + x(0)
+        q = h.relabeled({0: 2, 1: 0})
+        assert q.coefficient(
+            PauliString.from_pairs([(0, "Z"), (2, "Z")])
+        ) == 1.0
+        assert q.coefficient(PauliString.single("X", 2)) == 1.0

@@ -1,0 +1,126 @@
+"""End-to-end integration tests: compile → simulate → measure.
+
+These close the loop the paper's evaluation closes on real hardware:
+the compiled schedule, executed on the (noiseless) simulator, must
+reproduce the *target* system's dynamics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QTurboCompiler
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.baseline import SimuQStyleCompiler
+from repro.hamiltonian import PiecewiseHamiltonian
+from repro.models import ising_chain, ising_cycle, mis_chain
+from repro.sim import (
+    evolve,
+    evolve_piecewise,
+    evolve_schedule,
+    ground_state,
+    state_fidelity,
+    z_average,
+    zz_average,
+)
+
+
+class TestCompiledDynamicsMatchTarget:
+    def test_rydberg_chain_fidelity(self, chain_spec):
+        n = 5
+        aais = RydbergAAIS(n, spec=chain_spec)
+        target = ising_chain(n)
+        result = QTurboCompiler(aais).compile(target, 1.0)
+        ideal = evolve(ground_state(n), target, 1.0, n)
+        compiled = evolve_schedule(ground_state(n), result.schedule)
+        assert state_fidelity(ideal, compiled) > 0.995
+
+    def test_heisenberg_chain_fidelity_is_exact(self):
+        n = 4
+        aais = HeisenbergAAIS(n)
+        target = ising_chain(n)
+        result = QTurboCompiler(aais).compile(target, 1.0)
+        ideal = evolve(ground_state(n), target, 1.0, n)
+        compiled = evolve_schedule(ground_state(n), result.schedule)
+        assert state_fidelity(ideal, compiled) > 1 - 1e-9
+
+    def test_observables_match(self, planar_spec):
+        n = 6
+        aais = RydbergAAIS(n, spec=planar_spec)
+        target = ising_cycle(n, j=0.157, h=0.785)
+        result = QTurboCompiler(aais).compile(target, 1.0)
+        ideal = evolve(ground_state(n), target, 1.0, n)
+        compiled = evolve_schedule(ground_state(n), result.schedule)
+        assert z_average(compiled) == pytest.approx(
+            z_average(ideal), abs=0.02
+        )
+        assert zz_average(compiled) == pytest.approx(
+            zz_average(ideal), abs=0.03
+        )
+
+    def test_time_dependent_mis_fidelity(self, chain_spec):
+        n = 4
+        aais = RydbergAAIS(n, spec=chain_spec)
+        td = mis_chain(n, duration=1.0)
+        segments = 4
+        result = QTurboCompiler(aais).compile_time_dependent(td, segments)
+        pw = td.discretize(segments)
+        ideal = evolve_piecewise(ground_state(n), pw, n)
+        compiled = evolve_schedule(ground_state(n), result.schedule)
+        assert state_fidelity(ideal, compiled) > 0.99
+
+    def test_baseline_also_reproduces_dynamics(self, paper_aais):
+        target = ising_chain(3)
+        result = SimuQStyleCompiler(paper_aais, seed=0).compile(target, 1.0)
+        assert result.success
+        ideal = evolve(ground_state(3), target, 1.0, 3)
+        compiled = evolve_schedule(ground_state(3), result.schedule)
+        assert state_fidelity(ideal, compiled) > 0.98
+
+
+class TestCompilerAgreement:
+    def test_qturbo_and_baseline_agree_on_physics(self, paper_aais):
+        """Both compile valid pulses; their ideal dynamics must agree."""
+        target = ising_chain(3)
+        q = QTurboCompiler(paper_aais).compile(target, 1.0)
+        b = SimuQStyleCompiler(paper_aais, seed=0).compile(target, 1.0)
+        assert q.success and b.success
+        psi_q = evolve_schedule(ground_state(3), q.schedule)
+        psi_b = evolve_schedule(ground_state(3), b.schedule)
+        assert state_fidelity(psi_q, psi_b) > 0.97
+
+    def test_qturbo_never_longer_than_baseline(self, paper_aais):
+        target = ising_chain(3)
+        q = QTurboCompiler(paper_aais).compile(target, 1.0)
+        for seed in range(3):
+            b = SimuQStyleCompiler(paper_aais, seed=seed).compile(
+                target, 1.0
+            )
+            if b.success:
+                assert q.execution_time <= b.execution_time + 1e-9
+
+
+class TestScheduleRoundtrip:
+    def test_schedule_segments_consistent_with_result(self, chain_spec):
+        aais = RydbergAAIS(4, spec=chain_spec)
+        pw = PiecewiseHamiltonian.from_pairs(
+            [(0.5, ising_chain(4)), (0.5, ising_chain(4, h=0.5))]
+        )
+        result = QTurboCompiler(aais).compile_piecewise(pw)
+        assert result.schedule.num_segments == len(result.segments)
+        for seg_result, seg_pulse in zip(
+            result.segments, result.schedule.segments
+        ):
+            assert seg_result.duration == pytest.approx(seg_pulse.duration)
+
+    def test_b_sim_matches_schedule_hamiltonian(self, paper_aais):
+        """b_sim recorded in the result equals the schedule's actual
+        Hamiltonian coefficients × duration."""
+        result = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        h_sim = result.schedule.hamiltonian_at_segment(0)
+        duration = result.segments[0].duration
+        for term, value in result.segments[0].b_sim.items():
+            if term.is_identity:
+                continue
+            assert h_sim.coefficient(term) * duration == pytest.approx(
+                value, abs=1e-8
+            )

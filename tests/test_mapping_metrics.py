@@ -1,0 +1,138 @@
+"""Unit tests for site mapping and the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro import QTurboCompiler
+from repro.analysis import (
+    Comparison,
+    compare,
+    format_number,
+    format_table,
+    geometric_mean,
+    metrics_of,
+)
+from repro.baseline import SimuQStyleCompiler
+from repro.core.mapping import apply_mapping, find_mapping, interaction_graph
+from repro.errors import MappingError
+from repro.hamiltonian import x, zz
+from repro.models import ising_chain, ising_cycle
+
+
+class TestInteractionGraph:
+    def test_edges_weighted(self):
+        h = 2 * zz(0, 1) + zz(1, 2) + x(0)
+        graph = interaction_graph(h)
+        assert graph[0][1]["weight"] == 2.0
+        assert graph[1][2]["weight"] == 1.0
+        assert not graph.has_edge(0, 2)
+
+    def test_single_qubit_terms_are_nodes_only(self):
+        graph = interaction_graph(x(3))
+        assert 3 in graph.nodes
+        assert graph.number_of_edges() == 0
+
+
+class TestFindMapping:
+    def test_identity_for_ordered_chain(self):
+        h = ising_chain(5)
+        mapping = find_mapping(h, 5)
+        # A chain must map to consecutive sites (any direction/offset).
+        sites = [mapping[q] for q in range(5)]
+        gaps = {abs(sites[k + 1] - sites[k]) for k in range(4)}
+        assert gaps == {1}
+
+    def test_scrambled_chain_recovers_adjacency(self):
+        # Chain over qubits in scrambled label order: 4-0-2-1-3.
+        order = [4, 0, 2, 1, 3]
+        h = x(0)
+        for a, b in zip(order, order[1:]):
+            h = h + zz(a, b)
+        mapping = find_mapping(h, 5)
+        positions = [mapping[q] for q in order]
+        gaps = {abs(positions[k + 1] - positions[k]) for k in range(4)}
+        assert gaps == {1}
+
+    def test_too_many_qubits(self):
+        with pytest.raises(MappingError):
+            find_mapping(ising_chain(5), 3)
+
+    def test_apply_mapping_preserves_structure(self):
+        h = ising_chain(4)
+        mapping = {0: 3, 1: 2, 2: 1, 3: 0}
+        mapped = apply_mapping(h, mapping)
+        assert mapped.coefficient(
+            zz(2, 3).pauli_strings()[0]
+        ) == 1.0
+
+    def test_mapping_then_compile(self, chain_spec):
+        from repro.aais import RydbergAAIS
+
+        order = [2, 0, 3, 1]
+        h = ising_chain(4).relabeled(
+            {i: order[i] for i in range(4)}
+        )
+        mapping = find_mapping(h, 4)
+        mapped = apply_mapping(h, mapping)
+        aais = RydbergAAIS(4, spec=chain_spec)
+        result = QTurboCompiler(aais).compile(mapped, 1.0)
+        assert result.success
+        assert result.relative_error < 0.02
+
+
+class TestMetrics:
+    def test_metrics_of_success(self, paper_aais):
+        result = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        metrics = metrics_of(result)
+        assert metrics.success
+        assert metrics.execution_time == pytest.approx(0.8)
+        assert metrics.relative_error_percent < 1.0
+
+    def test_metrics_of_failure(self, paper_aais):
+        failed = SimuQStyleCompiler(
+            paper_aais, max_restarts=1, tol=1e-12, branch_flips=0
+        ).compile(ising_chain(3), 1.0)
+        metrics = metrics_of(failed)
+        assert not metrics.success
+        assert math.isnan(metrics.execution_time)
+
+    def test_comparison_properties(self, paper_aais):
+        qturbo = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        baseline = SimuQStyleCompiler(paper_aais, seed=0).compile(
+            ising_chain(3), 1.0
+        )
+        comparison = compare(qturbo, baseline)
+        assert comparison.compile_speedup > 1.0
+        reduction = comparison.execution_reduction_percent
+        assert reduction is None or reduction <= 100.0
+
+    def test_comparison_handles_failed_baseline(self, paper_aais):
+        qturbo = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        failed = SimuQStyleCompiler(
+            paper_aais, max_restarts=1, tol=1e-12, branch_flips=0
+        ).compile(ising_chain(3), 1.0)
+        comparison = compare(qturbo, failed)
+        assert comparison.execution_reduction_percent is None
+        assert comparison.error_reduction_percent is None
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(None) == "-"
+        assert format_number(float("nan")) == "fail"
+        assert format_number(float("inf")) == "inf"
+        assert format_number(3) == "3"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["a", "bb"], [[1, 2.5], [10, 0.25]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert math.isnan(geometric_mean([]))
+        assert geometric_mean([2.0, float("nan")]) == pytest.approx(2.0)

@@ -1,0 +1,135 @@
+"""Unit tests for zero-noise extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro import QTurboCompiler
+from repro.errors import SimulationError
+from repro.mitigation import (
+    ZNEResult,
+    richardson_extrapolate,
+    stretch_schedule,
+    zne_observables,
+)
+from repro.models import ising_chain
+from repro.sim import (
+    NoisySimulator,
+    aquila_noise,
+    evolve_schedule,
+    ground_state,
+    state_fidelity,
+    z_average,
+    zz_average,
+)
+
+
+@pytest.fixture
+def schedule(paper_aais):
+    return QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0).schedule
+
+
+class TestStretchSchedule:
+    def test_duration_scales(self, schedule):
+        stretched = stretch_schedule(schedule, 2.0)
+        assert stretched.total_duration == pytest.approx(
+            2 * schedule.total_duration
+        )
+
+    def test_amplitudes_divide(self, schedule):
+        stretched = stretch_schedule(schedule, 2.0)
+        original = schedule.segments[0].dynamic_values
+        scaled = stretched.segments[0].dynamic_values
+        assert scaled["omega_0"] == pytest.approx(original["omega_0"] / 2)
+        assert scaled["delta_1"] == pytest.approx(original["delta_1"] / 2)
+        assert scaled["phi_0"] == original["phi_0"]  # phases untouched
+
+    def test_physics_invariant(self, schedule):
+        """H·T is preserved: the ideal evolution is identical."""
+        stretched = stretch_schedule(schedule, 3.0)
+        a = evolve_schedule(ground_state(3), schedule)
+        b = evolve_schedule(ground_state(3), stretched)
+        # Positions (and thus vdW terms) are NOT scaled, so only the
+        # driven part is invariant; with vdW present the states differ —
+        # check drive observables stay close instead.
+        assert state_fidelity(a, b) > 0.5  # sanity: same ballpark
+        # The exact invariance holds with interactions scaled out:
+        # verified in test_stretch_exact_for_heisenberg below.
+
+    def test_stretch_exact_for_heisenberg(self):
+        from repro.aais import HeisenbergAAIS
+
+        aais = HeisenbergAAIS(3)
+        schedule = (
+            QTurboCompiler(aais).compile(ising_chain(3), 1.0).schedule
+        )
+        stretched = stretch_schedule(schedule, 2.5)
+        a = evolve_schedule(ground_state(3), schedule)
+        b = evolve_schedule(ground_state(3), stretched)
+        assert state_fidelity(a, b) > 1 - 1e-9
+
+    def test_rejects_compression(self, schedule):
+        with pytest.raises(SimulationError):
+            stretch_schedule(schedule, 0.5)
+
+
+class TestRichardson:
+    def test_exact_for_linear_noise(self):
+        # value(λ) = truth + slope·λ: two points recover truth exactly.
+        truth, slope = 0.42, -0.3
+        values = [truth + slope * f for f in (1.0, 2.0)]
+        assert richardson_extrapolate([1.0, 2.0], values) == pytest.approx(
+            truth
+        )
+
+    def test_exact_for_quadratic_noise(self):
+        truth = -0.1
+        factors = [1.0, 1.5, 2.0]
+        values = [truth + 0.2 * f + 0.05 * f * f for f in factors]
+        assert richardson_extrapolate(factors, values) == pytest.approx(
+            truth
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            richardson_extrapolate([1.0], [0.5])
+        with pytest.raises(SimulationError):
+            richardson_extrapolate([1.0, 1.0], [0.5, 0.6])
+        with pytest.raises(SimulationError):
+            richardson_extrapolate([1.0, 2.0], [0.5])
+
+
+class TestZNEPipeline:
+    def test_mitigation_improves_estimate(self, schedule):
+        """ZNE must beat the raw λ=1 measurement on average."""
+        ideal = evolve_schedule(ground_state(3), schedule)
+        truth = {
+            "z_avg": z_average(ideal),
+            "zz_avg": zz_average(ideal),
+        }
+        noise = aquila_noise(t1=3.0, p01=0.0, p10=0.0)
+        simulator = NoisySimulator(noise=noise, noise_samples=8, seed=3)
+        result = zne_observables(
+            schedule,
+            simulator,
+            factors=(1.0, 2.0, 3.0),
+            shots=4000,
+            rng=np.random.default_rng(5),
+        )
+        assert isinstance(result, ZNEResult)
+        improvements = result.improvement_over_unmitigated(truth)
+        # At least one of the two metrics must improve; relaxation is the
+        # dominant, smoothly-λ-dependent channel, which ZNE removes well.
+        assert max(improvements.values()) > 0
+
+    def test_raw_series_recorded(self, schedule):
+        simulator = NoisySimulator(noise_samples=2, seed=0)
+        result = zne_observables(
+            schedule, simulator, factors=(1.0, 1.5), shots=50
+        )
+        assert len(result.raw["z_avg"]) == 2
+        assert set(result.mitigated) == {"z_avg", "zz_avg"}
+
+    def test_empty_factors_rejected(self, schedule):
+        simulator = NoisySimulator(noise_samples=2, seed=0)
+        with pytest.raises(SimulationError):
+            zne_observables(schedule, simulator, factors=(), shots=10)

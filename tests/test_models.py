@@ -1,0 +1,150 @@
+"""Unit tests for the Table-2 benchmark model library."""
+
+import pytest
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian import PauliString
+from repro.models import (
+    MODEL_BUILDERS,
+    build_model,
+    heisenberg_chain,
+    ising_chain,
+    ising_cycle,
+    ising_cycle_plus,
+    kitaev_chain,
+    mis_chain,
+    mis_chain_at,
+    model_names,
+    pxp_chain,
+)
+
+
+def zz_pair(i, j):
+    return PauliString.from_pairs([(i, "Z"), (j, "Z")])
+
+
+class TestIsingChain:
+    def test_term_count(self):
+        h = ising_chain(4)
+        # 3 ZZ + 4 X.
+        assert h.num_terms == 7
+
+    def test_coefficients(self):
+        h = ising_chain(3, j=2.0, h=0.5)
+        assert h.coefficient(zz_pair(0, 1)) == 2.0
+        assert h.coefficient(PauliString.single("X", 2)) == 0.5
+
+    def test_no_wraparound(self):
+        assert ising_chain(4).coefficient(zz_pair(0, 3)) == 0.0
+
+    def test_minimum_size(self):
+        with pytest.raises(HamiltonianError):
+            ising_chain(1)
+
+
+class TestIsingCycle:
+    def test_wraps_around(self):
+        h = ising_cycle(4)
+        assert h.coefficient(zz_pair(0, 3)) == 1.0
+        assert h.num_terms == 8
+
+    def test_minimum_size(self):
+        with pytest.raises(HamiltonianError):
+            ising_cycle(2)
+
+
+class TestIsingCyclePlus:
+    def test_next_nearest_tails(self):
+        h = ising_cycle_plus(6, j=1.0)
+        assert h.coefficient(zz_pair(0, 2)) == pytest.approx(1.0 / 64)
+        assert h.coefficient(zz_pair(0, 1)) == 1.0
+
+    def test_minimum_size(self):
+        with pytest.raises(HamiltonianError):
+            ising_cycle_plus(4)
+
+
+class TestKitaev:
+    def test_structure(self):
+        h = kitaev_chain(3, mu=2.0, t=1.0, h=0.5)
+        assert h.coefficient(zz_pair(0, 1)) == 1.0  # µ/2
+        assert h.coefficient(PauliString.single("X", 0)) == -1.0
+        assert h.coefficient(PauliString.single("Z", 2)) == -0.5
+
+
+class TestHeisenbergChain:
+    def test_all_three_couplings(self):
+        h = heisenberg_chain(3)
+        assert h.coefficient(zz_pair(0, 1)) == 1.0
+        assert (
+            h.coefficient(PauliString.from_pairs([(0, "X"), (1, "X")]))
+            == 1.0
+        )
+        assert (
+            h.coefficient(PauliString.from_pairs([(1, "Y"), (2, "Y")]))
+            == 1.0
+        )
+
+    def test_field(self):
+        assert heisenberg_chain(3, h=0.7).coefficient(
+            PauliString.single("X", 1)
+        ) == pytest.approx(0.7)
+
+
+class TestPXP:
+    def test_blockade_structure(self):
+        h = pxp_chain(3, j=8.0, h=1.0)
+        # n̂ n̂ expands with ZZ weight J/4.
+        assert h.coefficient(zz_pair(0, 1)) == pytest.approx(2.0)
+        assert h.coefficient(PauliString.single("X", 0)) == 1.0
+
+    def test_identity_part_present(self):
+        h = pxp_chain(3)
+        assert h.coefficient(PauliString.identity()) != 0.0
+
+
+class TestMISChain:
+    def test_detuning_ramp(self):
+        start = mis_chain_at(3, 0.0, u=1.0, alpha=1.0)
+        end = mis_chain_at(3, 1.0, u=1.0, alpha=1.0)
+        z0 = PauliString.single("Z", 0)
+        # Z_0 weight = −detuning/2 − α/4 (site 0 has one n̂n̂ neighbour):
+        # detuning ramps +U → −U, so −0.75 at t=0 and +0.25 at t=1.
+        assert start.coefficient(z0) == pytest.approx(-0.75)
+        assert end.coefficient(z0) == pytest.approx(0.25)
+
+    def test_time_dependent_wrapper(self):
+        td = mis_chain(3, duration=2.0, alpha=1.0)
+        assert td.duration == 2.0
+        mid = td.at(1.0)  # detuning crosses zero mid-sweep
+        assert mid.coefficient(PauliString.single("Z", 0)) == pytest.approx(
+            -0.25
+        )
+
+    def test_discretization_segments(self):
+        pw = mis_chain(3, duration=1.0).discretize(4)
+        assert pw.num_segments == 4
+
+    def test_bad_duration(self):
+        with pytest.raises(HamiltonianError):
+            mis_chain(3, duration=0.0)
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        names = model_names()
+        assert names == sorted(names)
+        assert "ising_chain" in names
+
+    def test_build_by_name(self):
+        h = build_model("kitaev", 4, mu=2.0)
+        assert h.coefficient(zz_pair(0, 1)) == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(HamiltonianError):
+            build_model("nonexistent", 4)
+
+    def test_all_registered_models_build(self):
+        for name in MODEL_BUILDERS:
+            h = build_model(name, 6)
+            assert not h.is_zero

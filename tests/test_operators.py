@@ -1,0 +1,112 @@
+"""Unit tests for sparse operator construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.hamiltonian import Hamiltonian, PauliString, x, z, zz
+from repro.sim.operators import (
+    hamiltonian_matrix,
+    number_operator_matrix,
+    pauli_matrix,
+    pauli_string_matrix,
+)
+
+
+class TestPauliMatrix:
+    def test_identities(self):
+        assert np.allclose(pauli_matrix("I"), np.eye(2))
+
+    def test_x(self):
+        assert np.allclose(pauli_matrix("X"), [[0, 1], [1, 0]])
+
+    def test_y(self):
+        assert np.allclose(pauli_matrix("Y"), [[0, -1j], [1j, 0]])
+
+    def test_z(self):
+        assert np.allclose(pauli_matrix("Z"), [[1, 0], [0, -1]])
+
+    def test_unknown(self):
+        with pytest.raises(SimulationError):
+            pauli_matrix("Q")
+
+    def test_algebra_relations(self):
+        x_m, y_m, z_m = (pauli_matrix(p) for p in "XYZ")
+        assert np.allclose(x_m @ y_m, 1j * z_m)
+        assert np.allclose(x_m @ x_m, np.eye(2))
+
+
+class TestPauliStringMatrix:
+    def test_identity_string(self):
+        m = pauli_string_matrix(PauliString.identity(), 2)
+        assert np.allclose(m.toarray(), np.eye(4))
+
+    def test_qubit0_is_most_significant(self):
+        m = pauli_string_matrix(PauliString.single("Z", 0), 2).toarray()
+        assert np.allclose(np.diag(m), [1, 1, -1, -1])
+
+    def test_qubit1_is_least_significant(self):
+        m = pauli_string_matrix(PauliString.single("Z", 1), 2).toarray()
+        assert np.allclose(np.diag(m), [1, -1, 1, -1])
+
+    def test_tensor_structure(self):
+        zz_m = pauli_string_matrix(
+            PauliString.from_pairs([(0, "Z"), (1, "Z")]), 2
+        ).toarray()
+        assert np.allclose(np.diag(zz_m), [1, -1, -1, 1])
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(SimulationError):
+            pauli_string_matrix(PauliString.single("X", 5), 2)
+
+    def test_size_cap(self):
+        with pytest.raises(SimulationError):
+            pauli_string_matrix(PauliString.single("X", 0), 30)
+
+    def test_hermitian(self):
+        m = pauli_string_matrix(
+            PauliString.from_pairs([(0, "X"), (1, "Y")]), 2
+        ).toarray()
+        assert np.allclose(m, m.conj().T)
+
+    def test_unitary(self):
+        m = pauli_string_matrix(
+            PauliString.from_pairs([(0, "Y"), (2, "Z")]), 3
+        ).toarray()
+        assert np.allclose(m @ m, np.eye(8))
+
+
+class TestHamiltonianMatrix:
+    def test_linear_combination(self):
+        h = 2 * x(0) - z(1)
+        m = hamiltonian_matrix(h, 2).toarray()
+        expected = (
+            2 * pauli_string_matrix(PauliString.single("X", 0), 2).toarray()
+            - pauli_string_matrix(PauliString.single("Z", 1), 2).toarray()
+        )
+        assert np.allclose(m, expected)
+
+    def test_zero_hamiltonian(self):
+        m = hamiltonian_matrix(Hamiltonian.zero(), 2).toarray()
+        assert np.allclose(m, 0)
+
+    def test_hermitian(self):
+        h = zz(0, 1) + 0.3 * x(0)
+        m = hamiltonian_matrix(h, 2).toarray()
+        assert np.allclose(m, m.conj().T)
+
+    def test_eigenvalues_of_ising_pair(self):
+        # ZZ has eigenvalues ±1 doubly degenerate.
+        m = hamiltonian_matrix(zz(0, 1), 2).toarray()
+        eigenvalues = np.sort(np.linalg.eigvalsh(m))
+        assert np.allclose(eigenvalues, [-1, -1, 1, 1])
+
+
+class TestNumberOperator:
+    def test_projector_onto_excited(self):
+        m = number_operator_matrix(0, 1).toarray()
+        assert np.allclose(m, [[0, 0], [0, 1]])
+
+    def test_idempotent(self):
+        m = number_operator_matrix(1, 2).toarray()
+        assert np.allclose(m @ m, m)

@@ -1,0 +1,94 @@
+"""Regression tests pinning the paper's worked examples (experiment index
+S5/S6 in DESIGN.md) and headline real-device compilation numbers."""
+
+import pytest
+
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.devices import aquila_spec, paper_example_spec
+from repro.models import ising_chain, ising_cycle, pxp_chain
+
+
+class TestSection5WorkedExample:
+    """3-qubit Ising chain on the Rydberg AAIS with Δ≤20, Ω≤2.5."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        aais = RydbergAAIS(3, spec=paper_example_spec())
+        return QTurboCompiler(aais).compile(ising_chain(3), 1.0)
+
+    def test_evolution_time(self, result):
+        # Equation (6): T_sim = 2 / 2.5 = 0.8 µs.
+        assert result.execution_time == pytest.approx(0.8)
+
+    def test_rabi_at_maximum(self, result):
+        values = result.segments[0].values
+        for i in range(3):
+            assert values[f"omega_{i}"] == pytest.approx(2.5)
+            assert values[f"phi_{i}"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_atom_positions(self, result):
+        # Equation (8): x = (0, 7.46, 14.92) µm up to translation.
+        values = result.segments[0].values
+        xs = sorted(values[f"x_{i}"] for i in range(3))
+        assert xs[1] - xs[0] == pytest.approx(7.46, abs=0.02)
+        assert xs[2] - xs[0] == pytest.approx(14.92, abs=0.04)
+
+    def test_section62_refined_detunings(self, result):
+        # Section 6.2: refinement lifts Δ1 = Δ3 to ≈ 2.55, Δ2 ≈ 5.01.
+        values = result.segments[0].values
+        assert values["delta_0"] == pytest.approx(2.55, abs=0.05)
+        assert values["delta_2"] == pytest.approx(2.55, abs=0.05)
+        assert values["delta_1"] == pytest.approx(5.01, abs=0.05)
+
+    def test_long_range_tail_matches_paper_scale(self, result):
+        # Paper: α3 = 0.020 with their positions; the exactly-solved
+        # layout gives C6/4 / 14.92⁶ × 0.8 ≈ 0.0156.
+        alpha3 = result.segments[0].achieved_alphas["vdw_0_2"]
+        assert alpha3 == pytest.approx(0.0156, abs=0.005)
+
+
+class TestFigure6CompilationNumbers:
+    def test_ising_cycle_12_compresses_to_quarter_microsecond(self):
+        """Fig. 6(a): 1.0 µs target → 0.25 µs pulse (Ω_max = 6.28)."""
+        aais = RydbergAAIS(12, spec=aquila_spec(omega_max=6.28))
+        result = QTurboCompiler(aais).compile(
+            ising_cycle(12, j=0.157, h=0.785), 1.0
+        )
+        assert result.success
+        assert result.execution_time == pytest.approx(0.25, abs=0.01)
+
+    def test_pxp_20us_compresses_below_half_microsecond(self):
+        """Fig. 6(b): 20 µs target → ≈0.4 µs pulse (Ω_max = 13.8)."""
+        aais = RydbergAAIS(6, spec=aquila_spec(omega_max=13.8))
+        result = QTurboCompiler(aais).compile(
+            pxp_chain(6, j=1.26, h=0.126), 20.0
+        )
+        assert result.success
+        assert result.execution_time < 0.5
+        # Far beyond Aquila's 4 µs wall-clock cap for the *target*, yet
+        # the compiled pulse fits comfortably.
+        assert result.execution_time < aais.spec.max_time
+
+    def test_target_sweep_stays_proportional(self):
+        """Fig. 6(a) sweeps T_tar ∈ [0.5, 1.0] µs; T_sim tracks linearly."""
+        aais = RydbergAAIS(12, spec=aquila_spec(omega_max=6.28))
+        compiler = QTurboCompiler(aais)
+        model = ising_cycle(12, j=0.157, h=0.785)
+        t_half = compiler.compile(model, 0.5).execution_time
+        t_full = compiler.compile(model, 1.0).execution_time
+        assert t_full == pytest.approx(2 * t_half, rel=1e-6)
+
+
+class TestTable1Shape:
+    def test_qturbo_scales_gently(self, chain_spec):
+        """QTurbo's compile time must not explode with system size."""
+        times = {}
+        for n in (4, 8, 12):
+            aais = RydbergAAIS(n, spec=chain_spec)
+            result = QTurboCompiler(aais).compile(ising_chain(n), 1.0)
+            assert result.success
+            times[n] = result.compile_seconds
+        # Growing 3× in size must cost far less than the baseline's
+        # exponential growth — allow a generous polynomial envelope.
+        assert times[12] < 60 * times[4] + 1.0

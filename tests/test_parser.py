@@ -1,0 +1,84 @@
+"""Unit tests for the Hamiltonian text parser."""
+
+import pytest
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian import PauliString, parse_hamiltonian
+from repro.models import ising_chain
+
+
+class TestParser:
+    def test_ising_chain_roundtrip(self):
+        parsed = parse_hamiltonian("Z0*Z1 + Z1*Z2 + X0 + X1 + X2")
+        assert parsed.isclose(ising_chain(3))
+
+    def test_coefficients(self):
+        h = parse_hamiltonian("0.5*Z0*Z1 - 1.25*X0")
+        assert h.coefficient(
+            PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        ) == pytest.approx(0.5)
+        assert h.coefficient(PauliString.single("X", 0)) == pytest.approx(
+            -1.25
+        )
+
+    def test_leading_minus(self):
+        h = parse_hamiltonian("-Z0 + X1")
+        assert h.coefficient(PauliString.single("Z", 0)) == -1.0
+
+    def test_number_operator_expands(self):
+        h = parse_hamiltonian("2*N0*N1")
+        assert h.coefficient(PauliString.identity()) == pytest.approx(0.5)
+        assert h.coefficient(
+            PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        ) == pytest.approx(0.5)
+
+    def test_case_insensitive(self):
+        h = parse_hamiltonian("z0*z1 + x0")
+        assert h.coefficient(
+            PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        ) == 1.0
+
+    def test_whitespace_tolerant(self):
+        h = parse_hamiltonian("  Z0 * Z1   +   X0 ")
+        assert h.num_terms == 2
+
+    def test_constant_term(self):
+        h = parse_hamiltonian("3.0 + X0")
+        assert h.coefficient(PauliString.identity()) == 3.0
+
+    def test_coefficient_times_coefficient(self):
+        h = parse_hamiltonian("2*3*X0")
+        assert h.coefficient(PauliString.single("X", 0)) == 6.0
+
+    def test_multi_digit_qubits(self):
+        h = parse_hamiltonian("X12")
+        assert h.coefficient(PauliString.single("X", 12)) == 1.0
+
+    def test_same_qubit_product_collapses(self):
+        # Z0*Z0 = I.
+        h = parse_hamiltonian("Z0*Z0")
+        assert h.coefficient(PauliString.identity()) == 1.0
+
+    def test_anticommuting_product_rejected(self):
+        with pytest.raises(HamiltonianError):
+            parse_hamiltonian("X0*Z0")  # = -i Y0, not Hermitian-real
+
+    def test_empty_rejected(self):
+        with pytest.raises(HamiltonianError):
+            parse_hamiltonian("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(HamiltonianError):
+            parse_hamiltonian("Q0 + X1")
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(HamiltonianError):
+            parse_hamiltonian("X0 +")
+
+    def test_parse_then_compile(self, paper_aais):
+        from repro import QTurboCompiler
+
+        target = parse_hamiltonian("Z0*Z1 + Z1*Z2 + X0 + X1 + X2")
+        result = QTurboCompiler(paper_aais).compile(target, 1.0)
+        assert result.success
+        assert result.execution_time == pytest.approx(0.8)

@@ -1,0 +1,102 @@
+"""Unit tests for dependency-graph partitioning (Section 4.2)."""
+
+import pytest
+
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.core.partition import UnionFind, partition_channels
+from repro.devices import aquila_spec
+from repro.errors import CompilationError
+
+
+class TestUnionFind:
+    def test_basic_union(self):
+        uf = UnionFind()
+        for item in "abc":
+            uf.add(item)
+        uf.union("a", "b")
+        assert uf.find("a") == uf.find("b")
+        assert uf.find("c") != uf.find("a")
+
+    def test_groups(self):
+        uf = UnionFind()
+        for item in "abcd":
+            uf.add(item)
+        uf.union("a", "b")
+        uf.union("c", "d")
+        groups = uf.groups()
+        assert sorted(sorted(g) for g in groups.values()) == [
+            ["a", "b"],
+            ["c", "d"],
+        ]
+
+    def test_find_unknown(self):
+        with pytest.raises(KeyError):
+            UnionFind().find("missing")
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        root1 = uf.union("a", "b")
+        root2 = uf.union("a", "b")
+        assert root1 == root2
+
+
+class TestRydbergPartition:
+    def test_paper_component_structure(self, paper_aais):
+        components = partition_channels(paper_aais.channels)
+        # 1 vdW component (positions all share), 3 detunings, 3 rabis.
+        assert len(components) == 7
+        fixed = [c for c in components if c.is_fixed]
+        dynamic = [c for c in components if c.is_dynamic]
+        assert len(fixed) == 1
+        assert len(dynamic) == 6
+        assert len(fixed[0].channels) == 3  # all three atom pairs
+
+    def test_rabi_components_pair_cos_sin(self, paper_aais):
+        components = partition_channels(paper_aais.channels)
+        rabi = [
+            c
+            for c in components
+            if any(ch.name.startswith("rabi") for ch in c.channels)
+        ]
+        assert len(rabi) == 3
+        for component in rabi:
+            names = sorted(ch.name for ch in component.channels)
+            assert len(names) == 2
+            assert names[0].startswith("rabi_cos")
+            assert names[1].startswith("rabi_sin")
+
+    def test_global_drive_merges_components(self):
+        aais = RydbergAAIS(5, spec=aquila_spec())
+        components = partition_channels(aais.channels)
+        # vdW + one global detuning + one global rabi component.
+        assert len(components) == 3
+
+    def test_deterministic_ordering(self, paper_aais):
+        first = partition_channels(paper_aais.channels)
+        second = partition_channels(paper_aais.channels)
+        assert [c.channel_names for c in first] == [
+            c.channel_names for c in second
+        ]
+
+
+class TestHeisenbergPartition:
+    def test_all_singletons(self):
+        aais = HeisenbergAAIS(4)
+        components = partition_channels(aais.channels)
+        assert len(components) == len(aais.channels)
+        assert all(len(c.channels) == 1 for c in components)
+        assert all(c.is_dynamic for c in components)
+
+
+class TestEdgeCases:
+    def test_empty_input_rejected(self):
+        with pytest.raises(CompilationError):
+            partition_channels([])
+
+    def test_component_accessors(self, paper_aais):
+        component = partition_channels(paper_aais.channels)[0]
+        assert component.channel_names
+        assert component.variable_names
+        assert "fixed" in repr(component) or "dynamic" in repr(component)

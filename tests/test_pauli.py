@@ -1,0 +1,170 @@
+"""Unit tests for the Pauli-string algebra."""
+
+import pytest
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian.pauli import PauliString
+
+
+class TestConstruction:
+    def test_empty_is_identity(self):
+        assert PauliString({}).is_identity
+        assert PauliString.identity().is_identity
+
+    def test_single(self):
+        p = PauliString.single("X", 3)
+        assert p.ops == ((3, "X"),)
+        assert p.weight == 1
+
+    def test_ops_sorted_regardless_of_input_order(self):
+        a = PauliString({5: "Z", 1: "X"})
+        b = PauliString({1: "X", 5: "Z"})
+        assert a.ops == ((1, "X"), (5, "Z"))
+        assert a == b
+
+    def test_from_label_skips_identity(self):
+        p = PauliString.from_label("IZXI")
+        assert p.ops == ((1, "Z"), (2, "X"))
+
+    def test_from_label_lowercase(self):
+        assert PauliString.from_label("xz") == PauliString(
+            {0: "X", 1: "Z"}
+        )
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(HamiltonianError):
+            PauliString.from_label("XQ")
+
+    def test_from_pairs(self):
+        p = PauliString.from_pairs([(0, "Z"), (2, "Z")])
+        assert p.support == (0, 2)
+
+    def test_from_pairs_rejects_duplicates(self):
+        with pytest.raises(HamiltonianError):
+            PauliString.from_pairs([(0, "Z"), (0, "X")])
+
+    def test_rejects_negative_qubit(self):
+        with pytest.raises(HamiltonianError):
+            PauliString({-1: "X"})
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(HamiltonianError):
+            PauliString({0: "W"})
+
+
+class TestInspection:
+    def test_weight_and_support(self):
+        p = PauliString({0: "X", 4: "Y", 7: "Z"})
+        assert p.weight == 3
+        assert p.support == (0, 4, 7)
+
+    def test_label_on(self):
+        p = PauliString({2: "Y"})
+        assert p.label_on(2) == "Y"
+        assert p.label_on(0) == "I"
+
+    def test_max_qubit(self):
+        assert PauliString({3: "X", 9: "Z"}).max_qubit() == 9
+        assert PauliString.identity().max_qubit() == -1
+
+    def test_str(self):
+        assert str(PauliString({0: "Z", 1: "Z"})) == "Z0*Z1"
+        assert str(PauliString.identity()) == "I"
+
+
+class TestAlgebra:
+    def test_xx_is_identity(self):
+        phase, result = PauliString.single("X", 0) * PauliString.single(
+            "X", 0
+        )
+        assert phase == 1
+        assert result.is_identity
+
+    def test_xy_gives_iz(self):
+        phase, result = PauliString.single("X", 0) * PauliString.single(
+            "Y", 0
+        )
+        assert phase == 1j
+        assert result == PauliString.single("Z", 0)
+
+    def test_yx_gives_minus_iz(self):
+        phase, result = PauliString.single("Y", 0) * PauliString.single(
+            "X", 0
+        )
+        assert phase == -1j
+        assert result == PauliString.single("Z", 0)
+
+    def test_disjoint_supports_merge(self):
+        phase, result = PauliString.single("X", 0) * PauliString.single(
+            "Z", 1
+        )
+        assert phase == 1
+        assert result == PauliString({0: "X", 1: "Z"})
+
+    def test_zz_times_zz_cancels(self):
+        zz = PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        phase, result = zz * zz
+        assert phase == 1
+        assert result.is_identity
+
+    def test_commutation_same_qubit(self):
+        x = PauliString.single("X", 0)
+        z = PauliString.single("Z", 0)
+        assert not x.commutes_with(z)
+        assert x.commutes_with(x)
+
+    def test_commutation_two_anticommuting_factors(self):
+        # XX and ZZ anticommute on both qubits -> commute overall.
+        xx = PauliString.from_pairs([(0, "X"), (1, "X")])
+        zz = PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        assert xx.commutes_with(zz)
+
+    def test_commutation_disjoint_support(self):
+        assert PauliString.single("X", 0).commutes_with(
+            PauliString.single("Z", 5)
+        )
+
+    def test_multiply_type_error(self):
+        with pytest.raises(TypeError):
+            PauliString.single("X", 0).multiply("Z0")  # type: ignore
+
+
+class TestRelabeling:
+    def test_relabel_moves_support(self):
+        p = PauliString({0: "X", 1: "Z"})
+        q = p.relabeled({0: 5, 1: 2})
+        assert q == PauliString({5: "X", 2: "Z"})
+
+    def test_relabel_partial_mapping_keeps_others(self):
+        p = PauliString({0: "X", 3: "Z"})
+        assert p.relabeled({0: 1}) == PauliString({1: "X", 3: "Z"})
+
+    def test_relabel_collision_raises(self):
+        p = PauliString({0: "X", 1: "Z"})
+        with pytest.raises(HamiltonianError):
+            p.relabeled({0: 1})
+
+
+class TestOrderingAndHashing:
+    def test_hashable_and_equal(self):
+        a = PauliString({0: "Z", 1: "Z"})
+        b = PauliString({1: "Z", 0: "Z"})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_total_order_by_weight_first(self):
+        light = PauliString.single("Z", 9)
+        heavy = PauliString({0: "X", 1: "X"})
+        assert light < heavy
+
+    def test_sorting_is_deterministic(self):
+        strings = [
+            PauliString.single("Z", 2),
+            PauliString.identity(),
+            PauliString({0: "X", 1: "X"}),
+            PauliString.single("X", 0),
+        ]
+        once = sorted(strings)
+        twice = sorted(reversed(strings))
+        assert once == twice
+        assert once[0].is_identity

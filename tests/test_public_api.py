@@ -1,0 +1,101 @@
+"""The package's public surface: exports, error hierarchy, ablation knobs."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.aais
+        import repro.analysis
+        import repro.baseline
+        import repro.core
+        import repro.devices
+        import repro.hamiltonian
+        import repro.models
+        import repro.pulse
+        import repro.sim
+
+        for module in (
+            repro.aais,
+            repro.analysis,
+            repro.baseline,
+            repro.core,
+            repro.devices,
+            repro.hamiltonian,
+            repro.models,
+            repro.pulse,
+            repro.sim,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_docstring_quickstart_runs(self):
+        from repro import QTurboCompiler, RydbergAAIS
+        from repro.models import ising_chain
+
+        aais = RydbergAAIS(3)
+        result = QTurboCompiler(aais).compile(ising_chain(3), t_target=1.0)
+        assert result.success
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_infeasible_is_compilation_error(self):
+        assert issubclass(errors.InfeasibleError, errors.CompilationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ScheduleError("boom")
+
+
+class TestAblationKnobs:
+    def test_generic_solver_mode(self, paper_aais):
+        from repro import QTurboCompiler
+        from repro.models import ising_chain
+
+        result = QTurboCompiler(
+            paper_aais, use_analytic_solvers=False
+        ).compile(ising_chain(3), 1.0)
+        assert result.success
+        assert result.execution_time == pytest.approx(0.8, rel=1e-6)
+        assert result.relative_error < 0.02
+
+    def test_generic_matches_analytic_time(self, paper_aais):
+        from repro import QTurboCompiler
+        from repro.models import ising_chain
+
+        analytic = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        generic = QTurboCompiler(
+            paper_aais, use_analytic_solvers=False
+        ).compile(ising_chain(3), 1.0)
+        assert generic.execution_time == pytest.approx(
+            analytic.execution_time, rel=1e-6
+        )
+
+    def test_public_docstrings_present(self):
+        """Every public class/function carries a docstring."""
+        import inspect
+
+        import repro.core.compiler as compiler_module
+        import repro.core.linear_system as linear_module
+        import repro.core.local_solvers as solvers_module
+
+        for module in (compiler_module, linear_module, solvers_module):
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    assert obj.__doc__, f"{module.__name__}.{name}"

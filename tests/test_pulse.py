@@ -1,0 +1,122 @@
+"""Unit tests for pulse schedules and export."""
+
+import json
+
+import pytest
+
+from repro import QTurboCompiler
+from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.devices import aquila_spec
+from repro.errors import ScheduleError
+from repro.models import ising_chain, ising_cycle
+from repro.pulse import PulseSchedule, PulseSegment, to_ahs_program, to_json
+
+
+@pytest.fixture
+def compiled(paper_aais):
+    return QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+
+
+class TestPulseSegment:
+    def test_positive_duration(self):
+        with pytest.raises(ScheduleError):
+            PulseSegment(duration=0.0, dynamic_values={})
+
+
+class TestPulseSchedule:
+    def test_coverage_validation_missing_fixed(self, paper_aais):
+        with pytest.raises(ScheduleError):
+            PulseSchedule(
+                paper_aais,
+                fixed_values={},
+                segments=[
+                    PulseSegment(
+                        1.0,
+                        {
+                            v.name: 0.0
+                            for v in paper_aais.dynamic_variables
+                        },
+                    )
+                ],
+            )
+
+    def test_coverage_validation_missing_dynamic(self, paper_aais):
+        with pytest.raises(ScheduleError):
+            PulseSchedule(
+                paper_aais,
+                fixed_values={"x_0": 0.0, "x_1": 8.0, "x_2": 16.0},
+                segments=[PulseSegment(1.0, {})],
+            )
+
+    def test_needs_segments(self, paper_aais):
+        with pytest.raises(ScheduleError):
+            PulseSchedule(paper_aais, fixed_values={}, segments=[])
+
+    def test_total_duration(self, compiled):
+        assert compiled.schedule.total_duration == pytest.approx(0.8)
+
+    def test_values_at_segment_merges(self, compiled):
+        values = compiled.schedule.values_at_segment(0)
+        assert "x_0" in values
+        assert "omega_0" in values
+
+    def test_hamiltonian_at_segment(self, compiled):
+        h = compiled.schedule.hamiltonian_at_segment(0)
+        assert not h.is_zero
+
+    def test_validate_clean_schedule(self, compiled):
+        assert compiled.schedule.validate() == []
+
+    def test_validate_flags_overtime(self, paper_aais, compiled):
+        schedule = compiled.schedule
+        long = PulseSchedule(
+            paper_aais,
+            fixed_values=schedule.fixed_values,
+            segments=[
+                PulseSegment(10.0, dict(schedule.segments[0].dynamic_values))
+            ],
+        )
+        problems = long.validate()
+        assert any("exceeds" in p for p in problems)
+
+    def test_validate_flags_spacing(self, paper_aais, compiled):
+        schedule = compiled.schedule
+        bad = PulseSchedule(
+            paper_aais,
+            fixed_values={"x_0": 0.0, "x_1": 0.5, "x_2": 16.0},
+            segments=list(schedule.segments),
+        )
+        problems = bad.validate()
+        assert any("separated" in p for p in problems)
+
+    def test_to_dict_roundtrips_json(self, compiled):
+        text = to_json(compiled.schedule)
+        data = json.loads(text)
+        assert data["num_sites"] == 3
+        assert data["total_duration"] == pytest.approx(0.8)
+        assert len(data["segments"]) == 1
+
+
+class TestAHSExport:
+    def test_rydberg_export(self, compiled):
+        program = to_ahs_program(compiled.schedule)
+        assert len(program["register"]) == 3
+        assert len(program["register"][0]) == 2  # padded to 2-D points
+        drive = program["driving_field"]
+        assert len(drive["times"]) == 2
+        assert drive["omega"][0] == pytest.approx(2.5)
+
+    def test_global_drive_export(self):
+        aais = RydbergAAIS(4, spec=aquila_spec(omega_max=6.28))
+        result = QTurboCompiler(aais).compile(
+            ising_cycle(4, j=0.157, h=0.785), 1.0
+        )
+        program = to_ahs_program(result.schedule)
+        assert len(program["register"]) == 4
+        assert program["driving_field"]["omega"][0] > 0
+
+    def test_heisenberg_rejected(self):
+        aais = HeisenbergAAIS(3)
+        result = QTurboCompiler(aais).compile(ising_chain(3), 1.0)
+        with pytest.raises(ScheduleError):
+            to_ahs_program(result.schedule)

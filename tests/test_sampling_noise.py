@@ -1,0 +1,198 @@
+"""Unit tests for shot sampling and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro import QTurboCompiler
+from repro.aais import RydbergAAIS
+from repro.errors import SimulationError
+from repro.models import ising_chain
+from repro.sim import (
+    NoiseParameters,
+    NoisySimulator,
+    apply_readout_error,
+    aquila_noise,
+    counts_from_samples,
+    ground_state,
+    plus_state,
+    sample_bitstrings,
+    z_average_from_samples,
+    zz_average_from_samples,
+)
+
+
+class TestSampling:
+    def test_deterministic_state(self):
+        samples = sample_bitstrings(
+            ground_state(3), 50, rng=np.random.default_rng(0)
+        )
+        assert samples.shape == (50, 3)
+        assert np.all(samples == 0)
+
+    def test_msb_convention(self):
+        # |01> (qubit0=0, qubit1=1) → index 1.
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        samples = sample_bitstrings(state, 10, rng=np.random.default_rng(0))
+        assert np.all(samples[:, 0] == 0)
+        assert np.all(samples[:, 1] == 1)
+
+    def test_statistics_of_plus_state(self):
+        samples = sample_bitstrings(
+            plus_state(1), 4000, rng=np.random.default_rng(1)
+        )
+        assert samples.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_unnormalized_state_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_bitstrings(np.ones(4, dtype=complex), 10)
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_bitstrings(ground_state(1), 0)
+
+    def test_counts(self):
+        samples = np.array([[0, 1], [0, 1], [1, 0]], dtype=np.int8)
+        counts = counts_from_samples(samples)
+        assert counts == {"01": 2, "10": 1}
+
+    def test_observable_estimators(self):
+        samples = np.zeros((100, 4), dtype=np.int8)
+        assert z_average_from_samples(samples) == 1.0
+        assert zz_average_from_samples(samples) == 1.0
+        samples[:, ::2] = 1  # alternating pattern
+        assert z_average_from_samples(samples) == 0.0
+        assert zz_average_from_samples(samples) == -1.0
+
+    def test_zz_from_samples_needs_pairs(self):
+        with pytest.raises(SimulationError):
+            zz_average_from_samples(np.zeros((5, 1), dtype=np.int8))
+
+
+class TestReadoutError:
+    def test_no_error_identity(self):
+        samples = np.array([[0, 1]] * 10, dtype=np.int8)
+        out = apply_readout_error(
+            samples, 0.0, 0.0, rng=np.random.default_rng(0)
+        )
+        assert np.array_equal(out, samples)
+
+    def test_full_flip(self):
+        samples = np.array([[0, 1]] * 10, dtype=np.int8)
+        out = apply_readout_error(
+            samples, 1.0, 1.0, rng=np.random.default_rng(0)
+        )
+        assert np.array_equal(out, 1 - samples)
+
+    def test_asymmetric_statistics(self):
+        rng = np.random.default_rng(2)
+        zeros = np.zeros((20000, 1), dtype=np.int8)
+        flipped = apply_readout_error(zeros, 0.1, 0.0, rng=rng)
+        assert flipped.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_invalid_probability(self):
+        with pytest.raises(SimulationError):
+            apply_readout_error(np.zeros((1, 1), dtype=np.int8), -0.1, 0.0)
+
+
+class TestNoiseParameters:
+    def test_defaults_valid(self):
+        noise = aquila_noise()
+        assert noise.t1 > 0
+
+    def test_overrides(self):
+        noise = aquila_noise(t1=None, p10=0.0)
+        assert noise.t1 is None
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseParameters(rabi_relative_sigma=-0.1)
+
+    def test_bad_t1_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseParameters(t1=0.0)
+
+    def test_bad_readout_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseParameters(p01=1.5)
+
+
+class TestNoisySimulator:
+    @pytest.fixture
+    def schedule(self, paper_aais):
+        result = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        return result.schedule
+
+    def test_shapes(self, schedule):
+        sim = NoisySimulator(noise_samples=4, seed=0)
+        samples = sim.run(schedule, shots=37)
+        assert samples.shape == (37, 3)
+
+    def test_reproducible_with_seed(self, schedule):
+        a = NoisySimulator(noise_samples=4, seed=5).run(schedule, shots=20)
+        b = NoisySimulator(noise_samples=4, seed=5).run(schedule, shots=20)
+        assert np.array_equal(a, b)
+
+    def test_noiseless_limit_matches_ideal(self, schedule):
+        quiet = NoiseParameters(
+            rabi_relative_sigma=0.0,
+            detuning_sigma=0.0,
+            position_sigma=0.0,
+            amplitude_relative_sigma=0.0,
+            t1=None,
+            p01=0.0,
+            p10=0.0,
+        )
+        from repro.sim import evolve_schedule, z_average
+
+        sim = NoisySimulator(noise=quiet, noise_samples=1, seed=0)
+        samples = sim.run(schedule, shots=6000)
+        ideal = z_average(evolve_schedule(ground_state(3), schedule))
+        assert z_average_from_samples(samples) == pytest.approx(
+            ideal, abs=0.05
+        )
+
+    def test_longer_pulse_noisier(self, paper_aais):
+        """The core Figure-6 mechanism: error grows with execution time."""
+        from repro.pulse.schedule import PulseSchedule, PulseSegment
+
+        result = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        short = result.schedule
+        # The same physics stretched 4x: amplitudes /4, duration ×4.
+        segment = short.segments[0]
+        stretched_values = {}
+        for name, value in segment.dynamic_values.items():
+            if name.startswith(("omega", "delta")):
+                stretched_values[name] = value / 4.0
+            else:
+                stretched_values[name] = value
+        long = PulseSchedule(
+            short.aais,
+            fixed_values=short.fixed_values,
+            segments=[
+                PulseSegment(
+                    duration=segment.duration * 4.0,
+                    dynamic_values=stretched_values,
+                )
+            ],
+        )
+        noise = aquila_noise(t1=3.0)
+        sim_short = NoisySimulator(noise=noise, noise_samples=6, seed=1)
+        sim_long = NoisySimulator(noise=noise, noise_samples=6, seed=1)
+        from repro.sim import evolve_schedule, z_average
+
+        ideal = z_average(evolve_schedule(ground_state(3), short))
+        z_short = z_average_from_samples(sim_short.run(short, shots=2000))
+        z_long = z_average_from_samples(sim_long.run(long, shots=2000))
+        assert abs(z_long - ideal) > abs(z_short - ideal)
+
+    def test_observables_dict(self, schedule):
+        sim = NoisySimulator(noise_samples=2, seed=0)
+        metrics = sim.observables(schedule, shots=100)
+        assert set(metrics) == {"z_avg", "zz_avg"}
+        assert -1 <= metrics["z_avg"] <= 1
+        assert -1 <= metrics["zz_avg"] <= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            NoisySimulator(noise_samples=0)

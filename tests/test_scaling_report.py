@@ -1,0 +1,121 @@
+"""Tests for scaling fits, the text formatter round-trip, and reports."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QTurboCompiler
+from repro.analysis import PowerLawFit, doubling_ratio, fit_power_law
+from repro.hamiltonian import format_hamiltonian, parse_hamiltonian
+from repro.models import ising_chain, kitaev_chain
+
+
+class TestPowerLawFit:
+    def test_exact_quadratic(self):
+        sizes = [4, 8, 16, 32]
+        seconds = [0.01 * n**2 for n in sizes]
+        fit = fit_power_law(sizes, seconds)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.prefactor == pytest.approx(0.01, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_linear(self):
+        fit = fit_power_law([2, 4, 8], [0.2, 0.4, 0.8])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = PowerLawFit(exponent=2.0, prefactor=0.5, r_squared=1.0)
+        assert fit.predict(4.0) == pytest.approx(8.0)
+
+    def test_doubling_ratio(self):
+        assert doubling_ratio([4, 8, 16], [1, 4, 16]) == pytest.approx(4.0)
+
+    def test_noisy_fit_quality_below_one(self):
+        fit = fit_power_law([2, 4, 8, 16], [0.2, 0.5, 0.7, 1.9])
+        assert 0 < fit.r_squared < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([0, 0], [1, 1])
+
+    def test_baseline_grows_faster_than_qturbo(self):
+        """Quantified Table-1 shape using recorded sweep data."""
+        from repro.aais import HeisenbergAAIS
+        from repro.baseline import SimuQStyleCompiler
+
+        sizes = [4, 8, 16]
+        base_times, qt_times = [], []
+        for n in sizes:
+            aais = HeisenbergAAIS(n)
+            base = SimuQStyleCompiler(aais, seed=0, max_restarts=2).compile(
+                ising_chain(n), 1.0
+            )
+            qt = QTurboCompiler(aais).compile(ising_chain(n), 1.0)
+            base_times.append(base.compile_seconds)
+            qt_times.append(qt.compile_seconds)
+        assert (
+            fit_power_law(sizes, base_times).exponent
+            > fit_power_law(sizes, qt_times).exponent
+        )
+
+
+class TestFormatRoundtrip:
+    def test_ising_chain_roundtrip(self):
+        h = ising_chain(4, j=0.7, h=1.3)
+        assert parse_hamiltonian(format_hamiltonian(h)).isclose(h)
+
+    def test_kitaev_roundtrip_with_negatives(self):
+        h = kitaev_chain(3, mu=2.0, t=1.5, h=0.3)
+        assert parse_hamiltonian(format_hamiltonian(h)).isclose(h)
+
+    def test_zero(self):
+        from repro.hamiltonian import Hamiltonian
+
+        assert format_hamiltonian(Hamiltonian.zero()) == "0"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.sampled_from("XYZ"),
+                st.floats(
+                    min_value=-5, max_value=5, allow_nan=False, width=32
+                ).filter(lambda v: abs(v) > 1e-6),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip_single_factors(self, entries):
+        from repro.hamiltonian import Hamiltonian, PauliString
+
+        terms = {}
+        for qubit, label, coeff in entries:
+            string = PauliString.single(label, qubit)
+            terms[string] = terms.get(string, 0.0) + coeff
+        h = Hamiltonian(terms)
+        assert parse_hamiltonian(format_hamiltonian(h)).isclose(h, tol=1e-5)
+
+
+class TestResultReport:
+    def test_report_sections(self, paper_aais):
+        result = QTurboCompiler(paper_aais).compile(ising_chain(3), 1.0)
+        report = result.report()
+        assert "stages (ms):" in report
+        assert "Theorem-1 bound" in report
+        assert "segment 0:" in report
+
+    def test_failure_report_is_summary(self, paper_aais):
+        from repro.baseline import SimuQStyleCompiler
+
+        failed = SimuQStyleCompiler(
+            paper_aais, max_restarts=1, tol=1e-12, branch_flips=0
+        ).compile(ising_chain(3), 1.0)
+        assert "FAILED" in failed.summary()

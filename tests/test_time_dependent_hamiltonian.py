@@ -1,0 +1,108 @@
+"""Unit tests for piecewise and time-dependent Hamiltonians."""
+
+import pytest
+
+from repro.errors import HamiltonianError
+from repro.hamiltonian import (
+    Hamiltonian,
+    PiecewiseHamiltonian,
+    Segment,
+    TimeDependentHamiltonian,
+    x,
+    z,
+)
+
+
+class TestSegment:
+    def test_positive_duration_required(self):
+        with pytest.raises(HamiltonianError):
+            Segment(0.0, x(0))
+        with pytest.raises(HamiltonianError):
+            Segment(-1.0, x(0))
+
+
+class TestPiecewise:
+    def test_needs_segments(self):
+        with pytest.raises(HamiltonianError):
+            PiecewiseHamiltonian([])
+
+    def test_constant_factory(self):
+        pw = PiecewiseHamiltonian.constant(x(0), 2.0)
+        assert pw.num_segments == 1
+        assert pw.total_duration() == 2.0
+
+    def test_from_pairs(self):
+        pw = PiecewiseHamiltonian.from_pairs([(1.0, x(0)), (0.5, z(0))])
+        assert pw.num_segments == 2
+        assert pw.total_duration() == 1.5
+
+    def test_boundaries(self):
+        pw = PiecewiseHamiltonian.from_pairs([(1.0, x(0)), (0.5, z(0))])
+        assert pw.boundaries() == [0.0, 1.0, 1.5]
+
+    def test_hamiltonian_at(self):
+        pw = PiecewiseHamiltonian.from_pairs([(1.0, x(0)), (1.0, z(0))])
+        assert pw.hamiltonian_at(0.5) == x(0)
+        assert pw.hamiltonian_at(1.5) == z(0)
+        # boundary resolves to the following segment; end to the last.
+        assert pw.hamiltonian_at(1.0) == z(0)
+        assert pw.hamiltonian_at(2.0) == z(0)
+
+    def test_hamiltonian_at_out_of_range(self):
+        pw = PiecewiseHamiltonian.constant(x(0), 1.0)
+        with pytest.raises(HamiltonianError):
+            pw.hamiltonian_at(-0.1)
+        with pytest.raises(HamiltonianError):
+            pw.hamiltonian_at(1.5)
+
+    def test_num_qubits(self):
+        pw = PiecewiseHamiltonian.from_pairs([(1.0, x(0)), (1.0, z(4))])
+        assert pw.num_qubits() == 5
+
+    def test_len_and_iter(self):
+        pw = PiecewiseHamiltonian.from_pairs([(1.0, x(0)), (1.0, z(0))])
+        assert len(pw) == 2
+        assert [s.duration for s in pw] == [1.0, 1.0]
+
+
+class TestTimeDependent:
+    def test_positive_duration(self):
+        with pytest.raises(HamiltonianError):
+            TimeDependentHamiltonian(lambda t: x(0), 0.0)
+
+    def test_at(self):
+        td = TimeDependentHamiltonian(lambda t: t * x(0), 1.0)
+        assert td.at(0.5).coefficient(
+            x(0).pauli_strings()[0]
+        ) == pytest.approx(0.5)
+
+    def test_at_out_of_window(self):
+        td = TimeDependentHamiltonian(lambda t: x(0), 1.0)
+        with pytest.raises(HamiltonianError):
+            td.at(2.0)
+
+    def test_builder_must_return_hamiltonian(self):
+        td = TimeDependentHamiltonian(lambda t: 42, 1.0)  # type: ignore
+        with pytest.raises(HamiltonianError):
+            td.at(0.5)
+
+    def test_discretize_midpoint_sampling(self):
+        td = TimeDependentHamiltonian(lambda t: t * x(0), 1.0)
+        pw = td.discretize(2)
+        assert pw.num_segments == 2
+        string = x(0).pauli_strings()[0]
+        assert pw.segments[0].hamiltonian.coefficient(string) == pytest.approx(
+            0.25
+        )
+        assert pw.segments[1].hamiltonian.coefficient(string) == pytest.approx(
+            0.75
+        )
+
+    def test_discretize_preserves_duration(self):
+        td = TimeDependentHamiltonian(lambda t: x(0), 2.0)
+        assert td.discretize(4).total_duration() == pytest.approx(2.0)
+
+    def test_discretize_needs_segments(self):
+        td = TimeDependentHamiltonian(lambda t: x(0), 1.0)
+        with pytest.raises(HamiltonianError):
+            td.discretize(0)

@@ -1,0 +1,76 @@
+"""Unit tests for evolution-time optimization (Section 5.1)."""
+
+import pytest
+
+from repro.core.local_solvers import select_strategy
+from repro.core.partition import partition_channels
+from repro.core.time_optimizer import (
+    MIN_TIME_FLOOR,
+    optimize_evolution_time,
+)
+from repro.errors import InfeasibleError
+from repro.models import ising_chain
+
+
+@pytest.fixture
+def paper_strategies(paper_aais):
+    components = partition_channels(paper_aais.channels)
+    return [select_strategy(c) for c in components]
+
+
+def paper_alphas():
+    """Equation (5)'s solution for the 3-qubit Ising chain."""
+    return {
+        "vdw_0_1": 1.0,
+        "vdw_1_2": 1.0,
+        "vdw_0_2": 0.0,
+        "detuning_0": 1.0,
+        "detuning_1": 2.0,
+        "detuning_2": 1.0,
+        "rabi_cos_0": 1.0,
+        "rabi_sin_0": 0.0,
+        "rabi_cos_1": 1.0,
+        "rabi_sin_1": 0.0,
+        "rabi_cos_2": 1.0,
+        "rabi_sin_2": 0.0,
+    }
+
+
+class TestBottleneck:
+    def test_paper_bottleneck_is_rabi(self, paper_strategies):
+        outcome = optimize_evolution_time(paper_strategies, paper_alphas())
+        assert outcome.t_sim == pytest.approx(0.8)
+        assert outcome.bottleneck.startswith("rabi")
+
+    def test_per_component_times_match_cases(self, paper_strategies):
+        outcome = optimize_evolution_time(paper_strategies, paper_alphas())
+        per = outcome.per_component
+        # Case 1: detunings at 0.1 / 0.2 / 0.1 µs.
+        assert per["detuning_0"] == pytest.approx(0.1)
+        assert per["detuning_1"] == pytest.approx(0.2)
+        assert per["detuning_2"] == pytest.approx(0.1)
+        # Case 2: every Rabi drive at 0.8 µs.
+        assert per["rabi_cos_0"] == pytest.approx(0.8)
+
+    def test_floor_applies_when_all_zero(self, paper_strategies):
+        zeros = {name: 0.0 for name in paper_alphas()}
+        outcome = optimize_evolution_time(paper_strategies, zeros)
+        assert outcome.t_sim == MIN_TIME_FLOOR
+
+    def test_custom_floor(self, paper_strategies):
+        zeros = {name: 0.0 for name in paper_alphas()}
+        outcome = optimize_evolution_time(
+            paper_strategies, zeros, t_floor=0.5
+        )
+        assert outcome.t_sim == 0.5
+
+    def test_infeasible_raises(self, paper_strategies):
+        alphas = paper_alphas()
+        alphas["vdw_0_1"] = -1.0  # repulsive interaction can't be negative
+        with pytest.raises(InfeasibleError):
+            optimize_evolution_time(paper_strategies, alphas)
+
+    def test_scaling_targets_scales_time(self, paper_strategies):
+        doubled = {k: 2 * v for k, v in paper_alphas().items()}
+        outcome = optimize_evolution_time(paper_strategies, doubled)
+        assert outcome.t_sim == pytest.approx(1.6)

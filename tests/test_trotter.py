@@ -1,0 +1,127 @@
+"""Unit tests for the digital Trotterization comparator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.digital import (
+    commutator_bound_sum,
+    gate_counts,
+    trotter_error_bound,
+    trotter_evolve,
+    trotter_steps_required,
+)
+from repro.errors import SimulationError
+from repro.hamiltonian import x, z, zz
+from repro.models import ising_chain
+from repro.sim import evolve, ground_state, state_fidelity
+
+
+class TestCommutatorSum:
+    def test_commuting_terms_zero(self):
+        h = zz(0, 1) + zz(1, 2)  # all-Z: everything commutes
+        assert commutator_bound_sum(h) == 0.0
+
+    def test_anticommuting_pair(self):
+        # [2 Z0, 3 X0]: norm 2·|2·3| = 12.
+        h = 2 * z(0) + 3 * x(0)
+        assert commutator_bound_sum(h) == pytest.approx(12.0)
+
+    def test_ising_chain_scales_with_size(self):
+        small = commutator_bound_sum(ising_chain(4))
+        large = commutator_bound_sum(ising_chain(8))
+        assert large > small
+
+
+class TestErrorBoundAndSteps:
+    def test_bound_shrinks_with_steps(self):
+        h = ising_chain(4)
+        assert trotter_error_bound(h, 1.0, 10) < trotter_error_bound(
+            h, 1.0, 2
+        )
+
+    def test_steps_required_meets_bound(self):
+        h = ising_chain(4)
+        epsilon = 0.05
+        steps = trotter_steps_required(h, 1.0, epsilon)
+        assert trotter_error_bound(h, 1.0, steps) <= epsilon + 1e-12
+
+    def test_steps_grow_with_accuracy(self):
+        h = ising_chain(4)
+        assert trotter_steps_required(h, 1.0, 1e-4) > trotter_steps_required(
+            h, 1.0, 1e-1
+        )
+
+    def test_second_order_needs_fewer_steps(self):
+        h = ising_chain(4)
+        assert trotter_steps_required(
+            h, 1.0, 1e-4, order=2
+        ) < trotter_steps_required(h, 1.0, 1e-4, order=1)
+
+    def test_commuting_hamiltonian_one_step(self):
+        h = zz(0, 1) + zz(1, 2)
+        assert trotter_steps_required(h, 1.0, 1e-9) == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            trotter_error_bound(ising_chain(3), 1.0, 0)
+        with pytest.raises(SimulationError):
+            trotter_steps_required(ising_chain(3), 1.0, 0.0)
+        with pytest.raises(SimulationError):
+            trotter_error_bound(ising_chain(3), 1.0, 4, order=3)
+
+
+class TestGateCounts:
+    def test_ising_chain_counts(self):
+        h = ising_chain(4)  # 3 ZZ (2 CNOTs each) + 4 X
+        counts = gate_counts(h, steps=10)
+        assert counts.two_qubit == 3 * 2 * 10
+        assert counts.single_qubit_rotations == 7 * 10
+        assert counts.total == counts.two_qubit + counts.single_qubit_rotations
+
+    def test_second_order_doubles(self):
+        h = ising_chain(4)
+        assert gate_counts(h, 10, order=2).two_qubit == 2 * gate_counts(
+            h, 10, order=1
+        ).two_qubit
+
+    def test_gate_cost_explodes_with_accuracy(self):
+        """The paper's Section-1 motivation: digital costs blow up."""
+        h = ising_chain(8)
+        cheap = gate_counts(h, trotter_steps_required(h, 1.0, 1e-1))
+        precise = gate_counts(h, trotter_steps_required(h, 1.0, 1e-4))
+        assert precise.total > 100 * cheap.total
+
+
+class TestTrotterEvolve:
+    def test_converges_to_exact(self):
+        n = 3
+        h = ising_chain(n)
+        exact = evolve(ground_state(n), h, 1.0, n)
+        coarse = trotter_evolve(ground_state(n), h, 1.0, 2, n)
+        fine = trotter_evolve(ground_state(n), h, 1.0, 50, n)
+        assert state_fidelity(fine, exact) > state_fidelity(coarse, exact)
+        assert state_fidelity(fine, exact) > 0.999
+
+    def test_second_order_beats_first(self):
+        n = 3
+        h = ising_chain(n)
+        exact = evolve(ground_state(n), h, 1.0, n)
+        first = trotter_evolve(ground_state(n), h, 1.0, 4, n, order=1)
+        second = trotter_evolve(ground_state(n), h, 1.0, 4, n, order=2)
+        assert state_fidelity(second, exact) > state_fidelity(first, exact)
+
+    def test_commuting_terms_exact_in_one_step(self):
+        n = 3
+        h = zz(0, 1) + zz(1, 2)
+        from repro.sim import plus_state
+
+        exact = evolve(plus_state(n), h, 0.7, n)
+        trotter = trotter_evolve(plus_state(n), h, 0.7, 1, n)
+        assert state_fidelity(exact, trotter) > 1 - 1e-12
+
+    def test_norm_preserved(self):
+        n = 3
+        state = trotter_evolve(ground_state(n), ising_chain(n), 1.0, 3, n)
+        assert np.linalg.norm(state) == pytest.approx(1.0)

@@ -1,0 +1,252 @@
+"""Unit tests for AAIS variables and channels."""
+
+import math
+
+import pytest
+
+from repro.aais.channels import (
+    RabiCosChannel,
+    RabiSinChannel,
+    ScaledVariableChannel,
+    VanDerWaalsChannel,
+)
+from repro.aais.variables import Variable, VariableKind
+from repro.errors import AAISError
+from repro.hamiltonian.pauli import PauliString
+
+
+def dyn(name, lo, hi, tc=True):
+    return Variable(name, VariableKind.DYNAMIC, lo, hi, time_critical=tc)
+
+
+def fixed(name, lo, hi):
+    return Variable(name, VariableKind.FIXED, lo, hi)
+
+
+class TestVariable:
+    def test_bounds_validation(self):
+        with pytest.raises(AAISError):
+            Variable("v", VariableKind.DYNAMIC, 2.0, 1.0)
+
+    def test_empty_name(self):
+        with pytest.raises(AAISError):
+            Variable("", VariableKind.DYNAMIC, 0.0, 1.0)
+
+    def test_nan_bound(self):
+        with pytest.raises(AAISError):
+            Variable("v", VariableKind.DYNAMIC, float("nan"), 1.0)
+
+    def test_kind_flags(self):
+        assert fixed("x", 0, 1).is_fixed
+        assert dyn("d", 0, 1).is_dynamic
+
+    def test_clip(self):
+        v = dyn("d", -1.0, 1.0)
+        assert v.clip(5.0) == 1.0
+        assert v.clip(-5.0) == -1.0
+        assert v.clip(0.3) == 0.3
+
+    def test_contains_with_tolerance(self):
+        v = dyn("d", 0.0, 1.0)
+        assert v.contains(1.0 + 1e-12)
+        assert not v.contains(1.1)
+
+    def test_midpoint(self):
+        assert dyn("d", 0.0, 2.0).midpoint() == 1.0
+        assert dyn("d", -math.inf, math.inf).midpoint() == 0.0
+        assert dyn("d", -math.inf, 3.0).midpoint() == 3.0
+        assert dyn("d", 3.0, math.inf).midpoint() == 3.0
+
+    def test_span(self):
+        assert dyn("d", -1.0, 3.0).span == 4.0
+
+
+class TestScaledVariableChannel:
+    def make(self, scale=0.5):
+        delta = dyn("delta_0", -20.0, 20.0)
+        return ScaledVariableChannel(
+            "detuning_0",
+            delta,
+            scale,
+            {PauliString.single("Z", 0): 1.0, PauliString.identity(): -1.0},
+        )
+
+    def test_evaluate(self):
+        c = self.make()
+        assert c.evaluate({"delta_0": 10.0}) == 5.0
+
+    def test_expression_range(self):
+        assert self.make().expression_range() == (-10.0, 10.0)
+
+    def test_negative_scale_flips_range(self):
+        c = self.make(scale=-0.5)
+        assert c.expression_range() == (-10.0, 10.0)
+        assert c.evaluate({"delta_0": 10.0}) == -5.0
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(AAISError):
+            self.make(scale=0.0)
+
+    def test_solve_value_clips(self):
+        c = self.make()
+        assert c.solve_value(5.0) == 10.0
+        assert c.solve_value(1e9) == 20.0
+
+    def test_dynamics_terms_drops_identity(self):
+        terms = self.make().dynamics_terms()
+        assert PauliString.identity() not in terms
+        assert PauliString.single("Z", 0) in terms
+
+    def test_missing_value_raises(self):
+        with pytest.raises(AAISError):
+            self.make().evaluate({})
+
+    def test_alpha_bounds_unconstrained_sign(self):
+        lo, hi = self.make().alpha_bounds()
+        assert lo == -math.inf and hi == math.inf
+
+    def test_is_dynamic(self):
+        assert self.make().is_dynamic
+
+
+class TestRabiChannels:
+    def make_pair(self, omega_max=2.5):
+        omega = dyn("omega_0", 0.0, omega_max)
+        phi = dyn("phi_0", 0.0, 2 * math.pi, tc=False)
+        cos_c = RabiCosChannel(
+            "rabi_cos_0", omega, phi, 0.5, {PauliString.single("X", 0): 1.0}
+        )
+        sin_c = RabiSinChannel(
+            "rabi_sin_0", omega, phi, 0.5, {PauliString.single("Y", 0): 1.0}
+        )
+        return cos_c, sin_c
+
+    def test_evaluate_cos(self):
+        cos_c, _ = self.make_pair()
+        value = cos_c.evaluate({"omega_0": 2.0, "phi_0": 0.0})
+        assert value == pytest.approx(1.0)
+
+    def test_evaluate_sin_sign(self):
+        _, sin_c = self.make_pair()
+        value = sin_c.evaluate({"omega_0": 2.0, "phi_0": math.pi / 2})
+        assert value == pytest.approx(-1.0)
+
+    def test_expression_range_symmetric(self):
+        cos_c, sin_c = self.make_pair(omega_max=4.0)
+        assert cos_c.expression_range() == (-2.0, 2.0)
+        assert sin_c.expression_range() == (-2.0, 2.0)
+
+    def test_negative_omega_lower_rejected(self):
+        omega = dyn("omega_0", -1.0, 1.0)
+        phi = dyn("phi_0", 0.0, 2 * math.pi, tc=False)
+        with pytest.raises(AAISError):
+            RabiCosChannel(
+                "c", omega, phi, 0.5, {PauliString.single("X", 0): 1.0}
+            )
+
+    def test_shares_variables(self):
+        cos_c, sin_c = self.make_pair()
+        assert cos_c.variable_names == sin_c.variable_names
+
+
+class TestVanDerWaalsChannel:
+    def make(self, dim=1, prefactor=862690.0 / 4):
+        if dim == 1:
+            coords = (fixed("x_0", 0, 75), fixed("x_1", 0, 75))
+        else:
+            coords = (
+                fixed("x_0", 0, 75),
+                fixed("y_0", 0, 75),
+                fixed("x_1", 0, 75),
+                fixed("y_1", 0, 75),
+            )
+        return VanDerWaalsChannel(
+            "vdw_0_1",
+            0,
+            1,
+            coords,
+            prefactor=prefactor,
+            min_distance=4.0,
+            max_distance=75.0 * math.sqrt(dim),
+            terms={
+                PauliString.from_pairs([(0, "Z"), (1, "Z")]): 1.0,
+                PauliString.identity(): 1.0,
+            },
+        )
+
+    def test_distance_1d(self):
+        c = self.make()
+        assert c.distance({"x_0": 0.0, "x_1": 8.0}) == 8.0
+
+    def test_distance_2d(self):
+        c = self.make(dim=2)
+        d = c.distance({"x_0": 0.0, "y_0": 0.0, "x_1": 3.0, "y_1": 4.0})
+        assert d == pytest.approx(5.0)
+
+    def test_evaluate_inverse_sixth(self):
+        c = self.make(prefactor=64.0)
+        assert c.evaluate({"x_0": 0.0, "x_1": 2.0}) == pytest.approx(1.0)
+
+    def test_coincident_atoms_raise(self):
+        c = self.make()
+        with pytest.raises(AAISError):
+            c.evaluate({"x_0": 1.0, "x_1": 1.0})
+
+    def test_expression_range_positive(self):
+        lo, hi = self.make().expression_range()
+        assert 0 < lo < hi
+
+    def test_alpha_bounds_nonnegative(self):
+        lo, hi = self.make().alpha_bounds()
+        assert lo == 0.0
+        assert hi == math.inf
+
+    def test_distance_for_roundtrip(self):
+        c = self.make()
+        d = c.distance_for(1.25)
+        assert c.prefactor / d**6 == pytest.approx(1.25)
+
+    def test_distance_for_nonpositive(self):
+        with pytest.raises(AAISError):
+            self.make().distance_for(0.0)
+
+    def test_paper_distance(self):
+        # C6/(4 d^6) = 1.25 at d = 7.46 µm (Section 5.2).
+        d = self.make().distance_for(1.25)
+        assert d == pytest.approx(7.46, abs=0.01)
+
+    def test_is_fixed(self):
+        assert self.make().is_fixed
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(AAISError):
+            VanDerWaalsChannel(
+                "v",
+                0,
+                1,
+                (fixed("x_0", 0, 75), fixed("x_1", 0, 75)),
+                prefactor=1.0,
+                min_distance=10.0,
+                max_distance=5.0,
+                terms={PauliString.identity(): 1.0},
+            )
+
+    def test_wrong_variable_count(self):
+        with pytest.raises(AAISError):
+            VanDerWaalsChannel(
+                "v",
+                0,
+                1,
+                (fixed("x_0", 0, 75),),
+                prefactor=1.0,
+                min_distance=1.0,
+                max_distance=5.0,
+                terms={PauliString.identity(): 1.0},
+            )
+
+    def test_contribution_scales_terms(self):
+        c = self.make(prefactor=64.0)
+        contribution = c.contribution({"x_0": 0.0, "x_1": 2.0})
+        assert contribution[
+            PauliString.from_pairs([(0, "Z"), (1, "Z")])
+        ] == pytest.approx(1.0)
