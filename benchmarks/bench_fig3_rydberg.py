@@ -9,7 +9,6 @@ time, relative error).  The paper's shape: large compile speedups
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -14,7 +14,6 @@ the exact theory curve than a stretched pulse of SimuQ's length.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from conftest import write_report
 from repro import QTurboCompiler

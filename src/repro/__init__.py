@@ -17,6 +17,7 @@ True
 """
 
 from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.batch import BatchCompiler, BatchJob, BatchResult
 from repro.core import CompilationResult, QTurboCompiler
 from repro.devices import (
     HeisenbergSpec,
@@ -33,11 +34,14 @@ from repro.hamiltonian import (
 )
 from repro.pulse import PulseSchedule
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QTurboCompiler",
     "CompilationResult",
+    "BatchCompiler",
+    "BatchJob",
+    "BatchResult",
     "RydbergAAIS",
     "HeisenbergAAIS",
     "RydbergSpec",

@@ -21,7 +21,7 @@ same variables.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.aais.base import AAIS, Instruction
 from repro.aais.channels import (

@@ -17,7 +17,6 @@ Faithful to the strategy the paper attributes to SimuQ:
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -26,7 +25,6 @@ from scipy.optimize import least_squares
 
 from repro.aais.base import AAIS
 from repro.baseline.mixed_system import MixedSystem
-from repro.core.linear_system import l1_norm
 from repro.core.result import CompilationResult, SegmentSolution
 from repro.errors import CompilationError
 from repro.hamiltonian.expression import Hamiltonian

@@ -1,0 +1,32 @@
+"""Batched parallel compilation: many targets, one call.
+
+The batch layer turns the one-target-at-a-time QTurbo pipeline into a
+throughput engine: build :class:`BatchJob` objects (each self-contained
+with its own target and AAIS), hand them to a :class:`BatchCompiler`
+with a serial / thread / process executor, and get a deterministic
+:class:`BatchResult` back with per-job timing and failure capture.
+"""
+
+from repro.batch.compiler import BatchCompiler
+from repro.batch.executors import (
+    EXECUTOR_NAMES,
+    BatchExecutor,
+    ProcessBatchExecutor,
+    SerialExecutor,
+    ThreadBatchExecutor,
+    resolve_executor,
+)
+from repro.batch.jobs import BatchJob, BatchResult, JobOutcome
+
+__all__ = [
+    "BatchCompiler",
+    "BatchJob",
+    "BatchResult",
+    "JobOutcome",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadBatchExecutor",
+    "ProcessBatchExecutor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+]

@@ -1,0 +1,132 @@
+"""Pluggable execution backends for batched compilation.
+
+An executor maps a worker function over job payloads and returns the
+results **in submission order**, regardless of completion order — the
+batch layer's determinism guarantee rests on this.  Three backends:
+
+``serial``
+    In-process loop.  No concurrency, no surprises; the reference
+    against which the pooled executors must be bit-identical.
+``thread``
+    :class:`concurrent.futures.ThreadPoolExecutor`.  Compilation spends
+    most of its time inside numpy/scipy, which release the GIL, so
+    threads already buy real speedup without pickling costs.
+``process``
+    :class:`concurrent.futures.ProcessPoolExecutor`.  True parallelism;
+    payloads and results cross process boundaries by pickle, so the
+    worker function must be a module-level callable.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+from repro.errors import CompilationError
+
+__all__ = [
+    "BatchExecutor",
+    "SerialExecutor",
+    "ThreadBatchExecutor",
+    "ProcessBatchExecutor",
+    "resolve_executor",
+    "EXECUTOR_NAMES",
+]
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """A container-friendly default worker count."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class BatchExecutor(abc.ABC):
+    """Maps a function over payloads, preserving submission order."""
+
+    name: str = "abstract"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise CompilationError(
+                f"executor needs at least 1 worker, got {workers}"
+            )
+        self.workers = int(workers) if workers else default_workers()
+
+    @abc.abstractmethod
+    def run(
+        self, fn: Callable[[P], R], payloads: Sequence[P]
+    ) -> List[R]:
+        """Apply ``fn`` to every payload; results in submission order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(BatchExecutor):
+    """Plain in-process loop (workers is reported as 1)."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__(1)
+
+    def run(
+        self, fn: Callable[[P], R], payloads: Sequence[P]
+    ) -> List[R]:
+        return [fn(payload) for payload in payloads]
+
+
+class ThreadBatchExecutor(BatchExecutor):
+    """Thread-pool backend; shares in-process caches across jobs."""
+
+    name = "thread"
+
+    def run(
+        self, fn: Callable[[P], R], payloads: Sequence[P]
+    ) -> List[R]:
+        if not payloads:
+            return []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, payloads))
+
+
+class ProcessBatchExecutor(BatchExecutor):
+    """Process-pool backend; ``fn`` and payloads must pickle."""
+
+    name = "process"
+
+    def run(
+        self, fn: Callable[[P], R], payloads: Sequence[P]
+    ) -> List[R]:
+        if not payloads:
+            return []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, payloads))
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadBatchExecutor,
+    "process": ProcessBatchExecutor,
+}
+
+
+def resolve_executor(
+    spec: Union[str, BatchExecutor], workers: Optional[int] = None
+) -> BatchExecutor:
+    """Turn an executor name (or pass through an instance) into a backend."""
+    if isinstance(spec, BatchExecutor):
+        return spec
+    try:
+        factory = _EXECUTORS[spec]
+    except KeyError:
+        raise CompilationError(
+            f"unknown executor {spec!r}; choose from {EXECUTOR_NAMES}"
+        ) from None
+    return factory(workers)

@@ -1,0 +1,235 @@
+"""Job and result containers for batched compilation.
+
+A :class:`BatchJob` is one self-contained unit of work: a piecewise
+target plus the AAIS to compile it onto.  Jobs are plain picklable data
+so they can cross process boundaries unchanged — the same job object
+produces bit-identical results under every executor.
+
+A :class:`JobOutcome` records what happened to one job (result, error,
+timing, optional verification fidelity) and a :class:`BatchResult`
+aggregates outcomes in deterministic submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aais.base import AAIS
+from repro.core.result import CompilationResult
+from repro.errors import CompilationError
+from repro.hamiltonian.expression import Hamiltonian
+from repro.hamiltonian.time_dependent import (
+    PiecewiseHamiltonian,
+    TimeDependentHamiltonian,
+)
+
+__all__ = ["BatchJob", "JobOutcome", "BatchResult"]
+
+
+@dataclass(frozen=True, eq=False)
+class BatchJob:
+    """One compilation request: a target Hamiltonian on a device.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports; need not be unique, but unique names make
+        :meth:`BatchResult.outcome` lookups unambiguous.
+    target:
+        The piecewise-constant target to compile.
+    aais:
+        The instruction set to compile onto.  Each job carries its own
+        AAIS so a single batch can mix system sizes and devices.
+    compiler_options:
+        Extra keyword arguments for :class:`repro.core.QTurboCompiler`
+        (e.g. ``{"refine": False}``), as a hashable tuple of pairs.
+    """
+
+    name: str
+    target: PiecewiseHamiltonian
+    aais: AAIS
+    compiler_options: tuple = ()
+
+    @classmethod
+    def constant(
+        cls,
+        name: str,
+        target: Hamiltonian,
+        t_target: float,
+        aais: AAIS,
+        **compiler_options,
+    ) -> "BatchJob":
+        """A job for a time-independent target evolved for ``t_target``."""
+        if t_target <= 0:
+            raise CompilationError(
+                f"job {name!r}: target time must be positive, got {t_target}"
+            )
+        return cls(
+            name=name,
+            target=PiecewiseHamiltonian.constant(target, t_target),
+            aais=aais,
+            compiler_options=tuple(sorted(compiler_options.items())),
+        )
+
+    @classmethod
+    def time_dependent(
+        cls,
+        name: str,
+        target: TimeDependentHamiltonian,
+        num_segments: int,
+        aais: AAIS,
+        **compiler_options,
+    ) -> "BatchJob":
+        """A job for a continuously time-dependent target, discretized."""
+        return cls(
+            name=name,
+            target=target.discretize(num_segments),
+            aais=aais,
+            compiler_options=tuple(sorted(compiler_options.items())),
+        )
+
+    @property
+    def options(self) -> Dict[str, object]:
+        return dict(self.compiler_options)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchJob({self.name!r}, "
+            f"{len(self.target.segments)} segments, aais={self.aais.name})"
+        )
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job.
+
+    ``ok`` is False only when the compilation raised an uncaught
+    exception (captured in ``error``/``error_type``); a compiler that
+    returned an unsuccessful :class:`CompilationResult` (e.g. an
+    infeasible target) still has ``ok=True`` with ``succeeded=False``.
+    """
+
+    index: int
+    name: str
+    ok: bool
+    result: Optional[CompilationResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    seconds: float = 0.0
+    fidelity: Optional[float] = None
+    #: True when verification was requested but skipped (register too
+    #: large for state-vector simulation) — distinguishes "not checked"
+    #: from "not requested".
+    verify_skipped: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the compiler ran and reported success."""
+        return self.ok and self.result is not None and self.result.success
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        if self.succeeded:
+            return None
+        if self.error is not None:
+            return f"{self.error_type}: {self.error}"
+        if self.result is not None:
+            return self.result.message
+        return "no result"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (drops the full result object)."""
+        payload: Dict[str, object] = {
+            "index": self.index,
+            "name": self.name,
+            "ok": self.ok,
+            "succeeded": self.succeeded,
+            "seconds": self.seconds,
+        }
+        if self.result is not None and self.result.success:
+            payload["execution_time_us"] = self.result.execution_time
+            payload["relative_error"] = self.result.relative_error
+            payload["compile_seconds"] = self.result.compile_seconds
+        if self.fidelity is not None:
+            payload["fidelity"] = self.fidelity
+        if self.verify_skipped:
+            payload["verify_skipped"] = True
+        if not self.succeeded:
+            payload["failure"] = self.failure_reason
+        return payload
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcomes of one batch run, in submission order."""
+
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    executor: str = "serial"
+    workers: int = 1
+    total_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.outcomes = sorted(self.outcomes, key=lambda o: o.index)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def num_succeeded(self) -> int:
+        return sum(1 for o in self.outcomes if o.succeeded)
+
+    @property
+    def num_failed(self) -> int:
+        return self.num_jobs - self.num_succeeded
+
+    @property
+    def all_succeeded(self) -> bool:
+        return self.num_failed == 0
+
+    @property
+    def jobs_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.num_jobs / self.total_seconds
+
+    def failures(self) -> List[JobOutcome]:
+        return [o for o in self.outcomes if not o.succeeded]
+
+    def outcome(self, name: str) -> JobOutcome:
+        """The first outcome whose job carried ``name``."""
+        for candidate in self.outcomes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no job named {name!r} in this batch")
+
+    def results(self) -> List[Optional[CompilationResult]]:
+        """Per-job compilation results (None where the job errored)."""
+        return [o.result for o in self.outcomes]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        return (
+            f"{self.num_succeeded}/{self.num_jobs} jobs succeeded in "
+            f"{self.total_seconds:.3f} s "
+            f"({self.jobs_per_second:.2f} jobs/s, "
+            f"executor={self.executor}, workers={self.workers})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable report of the whole batch."""
+        return {
+            "executor": self.executor,
+            "workers": self.workers,
+            "total_seconds": self.total_seconds,
+            "jobs_per_second": self.jobs_per_second,
+            "num_jobs": self.num_jobs,
+            "num_succeeded": self.num_succeeded,
+            "num_failed": self.num_failed,
+            "jobs": [o.as_dict() for o in self.outcomes],
+        }
+
+    def __repr__(self) -> str:
+        return f"BatchResult({self.summary()})"

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
@@ -10,6 +10,9 @@ Commands
 ``compare``
     Run QTurbo and the SimuQ-style baseline on the same workload and
     print the three Section-7 metrics side by side.
+``batch``
+    Compile a sweep of jobs (model × sizes × repeats) concurrently
+    through :mod:`repro.batch` and report throughput plus cache stats.
 """
 
 from __future__ import annotations
@@ -17,15 +20,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro.aais import HeisenbergAAIS, RydbergAAIS
 from repro.baseline import SimuQStyleCompiler
+from repro.batch import EXECUTOR_NAMES, BatchCompiler, BatchJob
 from repro.core import QTurboCompiler
 from repro.devices import HeisenbergSpec, RydbergSpec, aquila_spec
 from repro.devices.base import TrapGeometry
 from repro.hamiltonian import Hamiltonian, parse_hamiltonian
 from repro.models import build_model, model_names
+from repro.sim.operators import operator_cache_stats
 
 __all__ = ["main", "build_parser"]
 
@@ -60,6 +65,41 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument(
         "--seed", type=int, default=0, help="baseline restart seed"
     )
+
+    batch_cmd = sub.add_parser(
+        "batch", help="compile many jobs concurrently"
+    )
+    _add_workload_args(batch_cmd)
+    batch_cmd.add_argument(
+        "--sizes",
+        help="comma-separated system sizes, e.g. 4,6,8 (overrides -n)",
+    )
+    batch_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="duplicate every job this many times (cache exercise)",
+    )
+    batch_cmd.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default="serial",
+        help="execution backend",
+    )
+    batch_cmd.add_argument(
+        "--workers", type=int, default=None, help="pool size"
+    )
+    batch_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="simulate each compiled schedule and record state fidelity",
+    )
+    batch_cmd.add_argument(
+        "--output",
+        choices=("summary", "json"),
+        default="summary",
+        help="print per-job lines or the full batch report as JSON",
+    )
     return parser
 
 
@@ -92,13 +132,13 @@ def _build_target(args: argparse.Namespace) -> Hamiltonian:
     return parse_hamiltonian(args.hamiltonian)
 
 
-def _build_aais(args: argparse.Namespace, target: Hamiltonian):
-    n = max(args.qubits, target.num_qubits())
-    if args.device == "heisenberg":
+def _device_aais(device: str, n: int):
+    """An AAIS preset for ``n`` sites on the named device."""
+    if device == "heisenberg":
         return HeisenbergAAIS(n, spec=HeisenbergSpec())
-    if args.device == "aquila":
+    if device == "aquila":
         return RydbergAAIS(n, spec=aquila_spec())
-    if args.device == "rydberg":
+    if device == "rydberg":
         spec = RydbergSpec(
             geometry=TrapGeometry(
                 extent=max(75.0, 4.0 * n), min_spacing=4.0, dimension=2
@@ -116,6 +156,10 @@ def _build_aais(args: argparse.Namespace, target: Hamiltonian):
         omega_max=2.5,
     )
     return RydbergAAIS(n, spec=spec)
+
+
+def _build_aais(args: argparse.Namespace, target: Hamiltonian):
+    return _device_aais(args.device, max(args.qubits, target.num_qubits()))
 
 
 def _command_compile(args: argparse.Namespace) -> int:
@@ -163,6 +207,102 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0 if qturbo.success else 1
 
 
+def _batch_jobs(args: argparse.Namespace) -> List[BatchJob]:
+    """Expand the workload arguments into a job list."""
+    if args.sizes:
+        try:
+            sizes = [int(part) for part in args.sizes.split(",") if part]
+        except ValueError:
+            raise CLIUsageError(
+                f"--sizes must be comma-separated integers, got {args.sizes!r}"
+            ) from None
+        if not sizes:
+            raise CLIUsageError("--sizes given but empty")
+    else:
+        sizes = [args.qubits]
+    if args.repeat < 1:
+        raise CLIUsageError(f"--repeat must be >= 1, got {args.repeat}")
+
+    # Build each distinct (target, AAIS) pair once and share it across
+    # repeats: jobs carrying the *same* AAIS instance let the worker
+    # reuse one compiler — and with it the linear-system cache — for
+    # every duplicate.
+    workloads = []
+    for n in sizes:
+        if args.model:
+            target = build_model(args.model, n)
+            stem = f"{args.model}-n{n}"
+        else:
+            target = parse_hamiltonian(args.hamiltonian)
+            stem = f"hamiltonian-n{n}"
+        aais = _device_aais(args.device, max(n, target.num_qubits()))
+        workloads.append((stem, target, aais))
+
+    jobs: List[BatchJob] = []
+    for round_index in range(args.repeat):
+        suffix = f"-r{round_index}" if args.repeat > 1 else ""
+        for stem, target, aais in workloads:
+            jobs.append(
+                BatchJob.constant(
+                    f"{stem}{suffix}", target, args.time, aais
+                )
+            )
+    return jobs
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    jobs = _batch_jobs(args)
+    compiler = BatchCompiler(
+        executor=args.executor,
+        workers=args.workers,
+        verify=args.verify,
+    )
+    batch = compiler.compile_many(jobs)
+    cache_stats = operator_cache_stats()
+    if args.output == "json":
+        payload = batch.as_dict()
+        payload["operator_cache"] = cache_stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for outcome in batch.outcomes:
+            if outcome.succeeded:
+                line = (
+                    f"{outcome.name:>24s}  ok    "
+                    f"{outcome.seconds * 1e3:8.2f} ms  "
+                    f"exec {outcome.result.execution_time:.4g} µs  "
+                    f"err {outcome.result.relative_error_percent:.3g}%"
+                )
+                if outcome.fidelity is not None:
+                    line += f"  fidelity {outcome.fidelity:.6f}"
+                elif outcome.verify_skipped:
+                    line += "  fidelity skipped (register too large)"
+            else:
+                line = (
+                    f"{outcome.name:>24s}  FAIL  "
+                    f"{outcome.seconds * 1e3:8.2f} ms  "
+                    f"{outcome.failure_reason}"
+                )
+            print(line)
+        print(batch.summary())
+        if args.verify:
+            ham = cache_stats["hamiltonian"]
+            line = (
+                f"operator cache: {ham['hits']:.0f} hits / "
+                f"{ham['misses']:.0f} misses "
+                f"(hit rate {ham['hit_rate']:.1%})"
+            )
+            if args.executor == "process":
+                # Pool workers keep their own per-process caches; the
+                # parent's counters only see in-process work.
+                line += "  [worker-local caches not included]"
+            print(line)
+    return 0 if batch.all_succeeded else 1
+
+
+class CLIUsageError(Exception):
+    """Invalid command-line usage (reported without a traceback)."""
+
+
 def main(argv: Optional[list] = None) -> int:
     from repro.errors import ReproError
 
@@ -171,10 +311,11 @@ def main(argv: Optional[list] = None) -> int:
         "compile": _command_compile,
         "models": _command_models,
         "compare": _command_compare,
+        "batch": _command_batch,
     }
     try:
         return handlers[args.command](args)
-    except ReproError as error:
+    except (ReproError, CLIUsageError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -22,8 +22,10 @@ evolution time stretches to compensate.
 from __future__ import annotations
 
 import math
+import threading
 import time
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.aais.base import AAIS
 from repro.core.error_bounds import ErrorBudget
@@ -71,6 +73,13 @@ class QTurboCompiler:
         When False, every local system is solved by the generic bounded
         least-squares fallback instead of the closed-form strategies —
         an ablation knob for measuring what the analytic solvers buy.
+    system_cache_size:
+        Number of :class:`GlobalLinearSystem` instances (one per distinct
+        target term structure) kept across :meth:`compile` calls.  Repeat
+        compilations of structurally identical targets — the common case
+        in batch workloads — then reuse the assembled matrix and its
+        cached factorization instead of rebuilding them.  Set to 0 to
+        disable.
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class QTurboCompiler:
         feasibility_growth: float = 1.15,
         max_feasibility_iters: int = 25,
         use_analytic_solvers: bool = True,
+        system_cache_size: int = 32,
     ):
         if feasibility_growth <= 1.0:
             raise CompilationError("feasibility_growth must exceed 1")
@@ -90,6 +100,17 @@ class QTurboCompiler:
         self.feasibility_growth = float(feasibility_growth)
         self.max_feasibility_iters = int(max_feasibility_iters)
         self.use_analytic_solvers = bool(use_analytic_solvers)
+        self.system_cache_size = int(system_cache_size)
+        self._system_cache: "OrderedDict[tuple, GlobalLinearSystem]" = (
+            OrderedDict()
+        )
+        self._system_cache_lock = threading.Lock()
+        self._system_cache_hits = 0
+        self._system_cache_misses = 0
+        # Channels never change for a compiler, so the partition and the
+        # per-component solver strategies are computed once, lazily.
+        self._partition: "List | None" = None
+        self._strategies: "List[LocalSolverStrategy] | None" = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -141,7 +162,7 @@ class QTurboCompiler:
         extra_terms: List[PauliString] = []
         for segment in target.segments:
             extra_terms.extend(segment.hamiltonian.terms)
-        system = GlobalLinearSystem(channels, extra_terms=tuple(extra_terms))
+        system = self._shared_system(extra_terms)
         b_targets = [
             {
                 term: coeff * segment.duration
@@ -164,8 +185,7 @@ class QTurboCompiler:
 
         # Stage 2: partition into localized mixed systems.
         tick = time.perf_counter()
-        components = partition_channels(channels)
-        strategies = [self._select_strategy(c) for c in components]
+        components, strategies = self._shared_partition(channels)
         fixed_strategies = [
             s for s in strategies if s.component.is_fixed
         ]
@@ -307,6 +327,55 @@ class QTurboCompiler:
             feasibility_iterations=feasibility_iterations,
             warnings=warnings,
         )
+
+    # ------------------------------------------------------------------
+    # Structural caches
+    # ------------------------------------------------------------------
+    def _shared_system(
+        self, extra_terms: Sequence[PauliString]
+    ) -> GlobalLinearSystem:
+        """The global linear system for a target term structure.
+
+        Keyed on the deduplicated, sorted term set: every target whose
+        segments touch the same Pauli terms shares one system — and with
+        it the assembled matrix and its cached factorization.
+        """
+        key = tuple(sorted({t for t in extra_terms if not t.is_identity}))
+        if self.system_cache_size <= 0:
+            return GlobalLinearSystem(self.aais.channels, extra_terms=key)
+        with self._system_cache_lock:
+            system = self._system_cache.get(key)
+            if system is not None:
+                self._system_cache.move_to_end(key)
+                self._system_cache_hits += 1
+                return system
+            self._system_cache_misses += 1
+        system = GlobalLinearSystem(self.aais.channels, extra_terms=key)
+        with self._system_cache_lock:
+            self._system_cache[key] = system
+            while len(self._system_cache) > self.system_cache_size:
+                self._system_cache.popitem(last=False)
+        return system
+
+    def _shared_partition(self, channels) -> Tuple[list, list]:
+        # Publish strategies before partition: concurrent readers test
+        # _partition, so under the GIL they can never observe it set
+        # while _strategies is still None (worst case both threads
+        # compute, which is benign — the results are identical).
+        if self._partition is None:
+            partition = list(partition_channels(channels))
+            strategies = [self._select_strategy(c) for c in partition]
+            self._strategies = strategies
+            self._partition = partition
+        return self._partition, list(self._strategies)
+
+    def system_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the cross-compile linear-system cache."""
+        return {
+            "hits": self._system_cache_hits,
+            "misses": self._system_cache_misses,
+            "size": len(self._system_cache),
+        }
 
     # ------------------------------------------------------------------
     # Helpers

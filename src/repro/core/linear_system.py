@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -84,6 +84,8 @@ class GlobalLinearSystem:
         )
         self.matrix = self._build_matrix()
         self._lower, self._upper = self._build_bounds()
+        self._pinv: "np.ndarray | None" = None
+        self.factorization_reuses = 0
 
     # ------------------------------------------------------------------
     def _build_matrix(self) -> sparse.csr_matrix:
@@ -161,9 +163,7 @@ class GlobalLinearSystem:
             )
             alpha = result.x
         else:
-            alpha, *_ = np.linalg.lstsq(
-                self.matrix.toarray(), b, rcond=None
-            )
+            alpha = self.pseudoinverse() @ b
         alpha = np.where(np.abs(alpha) < 1e-12, 0.0, alpha)
         residual = self.matrix.dot(alpha) - b
         return LinearSolution(
@@ -171,6 +171,21 @@ class GlobalLinearSystem:
             residual_l1=float(np.abs(residual).sum()),
             unreachable_terms=self.unreachable_terms_in(b_target),
         )
+
+    def pseudoinverse(self) -> np.ndarray:
+        """Moore–Penrose pseudoinverse of the system matrix, cached.
+
+        Piecewise targets solve the same matrix once per segment (and
+        batch workloads once per job); factoring once and replaying the
+        back-substitution turns the unbounded solve into a single
+        matrix–vector product.  ``M⁺ b`` is the minimum-norm least-squares
+        solution — exactly what ``lstsq`` would return.
+        """
+        if self._pinv is None:
+            self._pinv = np.linalg.pinv(self.matrix.toarray())
+        else:
+            self.factorization_reuses += 1
+        return self._pinv
 
     def residual_vector(
         self,

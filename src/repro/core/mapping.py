@@ -10,7 +10,7 @@ pairwise-swap local search.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 import networkx as nx
 

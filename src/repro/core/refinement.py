@@ -19,7 +19,7 @@ exactly as a linear program (HiGHS via :func:`scipy.optimize.linprog`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 from scipy import sparse

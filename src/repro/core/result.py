@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.error_bounds import ErrorBudget
 from repro.core.linear_system import b_difference_l1, l1_norm

@@ -14,6 +14,7 @@ at construction time to surface sign mistakes early.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
@@ -132,6 +133,34 @@ class Hamiltonian:
 
     def max_abs_coefficient(self) -> float:
         return max((abs(c) for c in self._terms.values()), default=0.0)
+
+    def canonical_key(
+        self,
+    ) -> Tuple[Tuple[Tuple[Tuple[int, str], ...], float], ...]:
+        """A deterministic, hashable identity for this Hamiltonian.
+
+        Terms are listed in the total order of :class:`PauliString`, each
+        as ``(string.canonical_key, coefficient)``.  Two Hamiltonians
+        built from the same terms in any insertion order share one key,
+        which makes it suitable for keying the operator matrix cache.
+        """
+        return tuple(
+            (s.canonical_key, c) for s, c in sorted(self._terms.items())
+        )
+
+    def stable_hash(self) -> str:
+        """Process-independent hex digest of :meth:`canonical_key`.
+
+        ``repr`` of the coefficient round-trips floats exactly, so equal
+        Hamiltonians digest identically in every interpreter.
+        """
+        parts = [
+            f"{s.stable_hash()}={coeff!r}"
+            for s, coeff in sorted(self._terms.items())
+        ]
+        return hashlib.blake2b(
+            "&".join(parts).encode(), digest_size=16
+        ).hexdigest()
 
     # ------------------------------------------------------------------
     # Algebra

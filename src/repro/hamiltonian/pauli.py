@@ -15,6 +15,7 @@ The full group algebra is supported: products of Pauli strings return a
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.errors import HamiltonianError
@@ -146,6 +147,27 @@ class PauliString:
     def max_qubit(self) -> int:
         """Largest qubit index touched; -1 for the identity."""
         return self._ops[-1][0] if self._ops else -1
+
+    @property
+    def canonical_key(self) -> Tuple[Tuple[int, str], ...]:
+        """A deterministic, hashable identity for this string.
+
+        Unlike :func:`hash`, the key is stable across processes and
+        Python invocations, so it can key shared caches (the operator
+        matrix cache) and appear in serialized cache reports.
+        """
+        return self._ops
+
+    def stable_hash(self) -> str:
+        """Process-independent hex digest of :attr:`canonical_key`.
+
+        ``hash()`` of the underlying tuple is salted per interpreter for
+        strings; this digest is reproducible everywhere, which matters
+        when batch workers in different processes must agree on cache
+        identity.
+        """
+        payload = ";".join(f"{q}:{label}" for q, label in self._ops)
+        return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
 
     # ------------------------------------------------------------------
     # Algebra

@@ -15,7 +15,7 @@ because every amplitude only ever *decreases*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ def stretch_schedule(schedule: PulseSchedule, factor: float) -> PulseSchedule:
     """
     if factor < 1.0:
         raise SimulationError(
-            f"stretch factor must be >= 1 (amplitudes would exceed "
+            "stretch factor must be >= 1 (amplitudes would exceed "
             f"hardware bounds), got {factor}"
         )
     segments = []

@@ -8,7 +8,7 @@ position solver end to end.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import HamiltonianError
 from repro.hamiltonian.expression import Hamiltonian, x, zz

@@ -8,7 +8,7 @@ reality that atoms cannot move once a program starts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.aais.base import AAIS

@@ -8,7 +8,7 @@ state under ``exp(−i H t)`` segment by segment using
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy.sparse.linalg import expm_multiply
@@ -59,14 +59,22 @@ def evolve(
     hamiltonian: Hamiltonian,
     duration: float,
     num_qubits: int,
+    cache: bool = True,
 ) -> np.ndarray:
-    """``exp(−i H t) |ψ⟩`` for a constant Hamiltonian."""
+    """``exp(−i H t) |ψ⟩`` for a constant Hamiltonian.
+
+    ``cache=False`` bypasses the operator matrix cache — use it for
+    one-shot Hamiltonians (noise realizations) that would otherwise
+    pollute the cache without ever being hit.
+    """
     if duration < 0:
         raise SimulationError(f"negative duration {duration}")
     state = _check_state(state, num_qubits)
     if duration == 0 or hamiltonian.is_zero:
         return state.copy()
-    matrix = hamiltonian_matrix(hamiltonian, num_qubits)
+    matrix = hamiltonian_matrix(
+        hamiltonian, num_qubits, copy=False, cache=cache
+    )
     return expm_multiply(-1j * duration * matrix.tocsc(), state)
 
 
@@ -101,10 +109,16 @@ def evolve_schedule(
     """
     num_qubits = schedule.aais.num_sites
     state = _check_state(state, num_qubits)
+    # Overridden (noise-perturbed) Hamiltonians are effectively unique
+    # per realization — building them uncached keeps the operator cache
+    # reserved for matrices that can actually recur.
+    cache = value_overrides is None
     for index, segment in enumerate(schedule.segments):
         values = schedule.values_at_segment(index)
         if value_overrides is not None:
             values.update(value_overrides[index])
         hamiltonian = schedule.aais.hamiltonian(values)
-        state = evolve(state, hamiltonian, segment.duration, num_qubits)
+        state = evolve(
+            state, hamiltonian, segment.duration, num_qubits, cache=cache
+        )
     return state

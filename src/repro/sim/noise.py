@@ -111,7 +111,6 @@ class NoisySimulator:
     ) -> List[Dict[str, float]]:
         """One quasi-static noise realization: per-segment overrides."""
         noise = self.noise
-        base_values = schedule.values_at_segment(0)
         static: Dict[str, float] = {}
         rabi_scale = 1.0 + rng.normal(0.0, noise.rabi_relative_sigma)
         amp_scale = 1.0 + rng.normal(0.0, noise.amplitude_relative_sigma)
@@ -119,7 +118,6 @@ class NoisySimulator:
         for name, value in schedule.fixed_values.items():
             if name.startswith(("x_", "y_")) and noise.position_sigma > 0:
                 static[name] = value + rng.normal(0.0, noise.position_sigma)
-        del base_values
 
         overrides: List[Dict[str, float]] = []
         for segment in schedule.segments:

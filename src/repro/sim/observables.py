@@ -12,7 +12,7 @@ Figure 6 reports two observables on Ising-type systems:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import List
 
 import numpy as np
 

@@ -4,12 +4,23 @@ Qubit 0 is the most significant bit of the computational-basis index
 (``|q0 q1 … q_{N−1}⟩``), matching the convention of
 :mod:`repro.sim.sampling`.  Operators are built as CSR matrices via
 Kronecker products of 2×2 factors.
+
+Matrix construction is a hot path: every ``evolve*`` call realizes its
+Hamiltonian, and batch workloads (:mod:`repro.batch`) compile and verify
+many structurally identical targets.  Both Pauli-string and full
+Hamiltonian matrices are therefore memoized in process-wide LRU caches
+keyed on the stable canonical keys of
+:meth:`repro.hamiltonian.pauli.PauliString.canonical_key` and
+:meth:`repro.hamiltonian.expression.Hamiltonian.canonical_key`.  Cache
+statistics are exposed via :func:`operator_cache_stats` so benchmarks
+can report hit rates.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, Mapping
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -23,6 +34,10 @@ __all__ = [
     "pauli_string_matrix",
     "hamiltonian_matrix",
     "number_operator_matrix",
+    "MatrixCache",
+    "operator_cache_stats",
+    "clear_operator_cache",
+    "configure_operator_cache",
 ]
 
 _SINGLE: Dict[str, np.ndarray] = {
@@ -34,6 +49,110 @@ _SINGLE: Dict[str, np.ndarray] = {
 
 #: Dimension above which building a dense operator is refused.
 MAX_QUBITS = 16
+
+#: Default cache capacities (entries, not bytes).
+DEFAULT_STRING_CACHE_SIZE = 4096
+DEFAULT_HAMILTONIAN_CACHE_SIZE = 512
+
+
+class MatrixCache:
+    """A small, thread-safe LRU cache with hit/miss/eviction statistics.
+
+    Values are treated as immutable by the cache; callers that hand
+    matrices out of the cache must copy them before exposing them to
+    mutation (see :func:`pauli_string_matrix`).  A lock guards every
+    lookup/insert because the thread batch executor shares this cache
+    across workers — an unguarded ``move_to_end`` can race a concurrent
+    eviction and raise ``KeyError``.
+    """
+
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[object, sparse.csr_matrix]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: object) -> Optional[sparse.csr_matrix]:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: object, value: sparse.csr_matrix) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the statistics."""
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
+
+
+_string_cache = MatrixCache(DEFAULT_STRING_CACHE_SIZE)
+_hamiltonian_cache = MatrixCache(DEFAULT_HAMILTONIAN_CACHE_SIZE)
+
+
+def operator_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Statistics of the process-wide operator caches."""
+    return {
+        "pauli_string": _string_cache.stats(),
+        "hamiltonian": _hamiltonian_cache.stats(),
+    }
+
+
+def clear_operator_cache() -> None:
+    """Empty both operator caches and reset their statistics."""
+    _string_cache.clear()
+    _hamiltonian_cache.clear()
+
+
+def configure_operator_cache(
+    string_maxsize: Optional[int] = None,
+    hamiltonian_maxsize: Optional[int] = None,
+) -> None:
+    """Resize the operator caches (clears the resized cache)."""
+    global _string_cache, _hamiltonian_cache
+    if string_maxsize is not None:
+        _string_cache = MatrixCache(string_maxsize)
+    if hamiltonian_maxsize is not None:
+        _hamiltonian_cache = MatrixCache(hamiltonian_maxsize)
 
 
 def pauli_matrix(label: str) -> np.ndarray:
@@ -54,15 +173,20 @@ def _check_size(num_qubits: int) -> None:
         )
 
 
-@lru_cache(maxsize=4096)
-def _cached_string_matrix(
-    ops: tuple, num_qubits: int
+def _string_matrix(
+    ops: Tuple[Tuple[int, str], ...], num_qubits: int
 ) -> sparse.csr_matrix:
+    """Cached CSR matrix of a Pauli-ops tuple.  Do not mutate the result."""
+    key = (ops, num_qubits)
+    cached = _string_cache.get(key)
+    if cached is not None:
+        return cached
     result = sparse.identity(1, dtype=complex, format="csr")
     op_map = dict(ops)
     for qubit in range(num_qubits):
         factor = _SINGLE[op_map.get(qubit, "I")]
         result = sparse.kron(result, factor, format="csr")
+    _string_cache.put(key, result)
     return result
 
 
@@ -76,19 +200,42 @@ def pauli_string_matrix(
             f"string {string} touches qubit {string.max_qubit()} but the "
             f"register has only {num_qubits} qubits"
         )
-    return _cached_string_matrix(string.ops, num_qubits).copy()
+    return _string_matrix(string.canonical_key, num_qubits).copy()
 
 
 def hamiltonian_matrix(
-    hamiltonian: Hamiltonian, num_qubits: int
+    hamiltonian: Hamiltonian,
+    num_qubits: int,
+    copy: bool = True,
+    cache: bool = True,
 ) -> sparse.csr_matrix:
-    """CSR matrix ``Σ c_s · P_s`` of a Hamiltonian expression."""
+    """CSR matrix ``Σ c_s · P_s`` of a Hamiltonian expression.
+
+    Results are memoized on ``(hamiltonian.canonical_key(), num_qubits)``.
+    With ``copy=False`` the cached matrix itself is returned — faster,
+    but the caller must not mutate it.  Pass ``cache=False`` for
+    one-shot Hamiltonians that will never recur (e.g. randomly
+    perturbed noise realizations): they skip the cache entirely instead
+    of churning useful entries out of it.
+    """
     _check_size(num_qubits)
-    dim = 2**num_qubits
-    result = sparse.csr_matrix((dim, dim), dtype=complex)
-    for string, coeff in hamiltonian.terms.items():
-        result = result + coeff * pauli_string_matrix(string, num_qubits)
-    return result
+    key = (hamiltonian.canonical_key(), num_qubits)
+    cached = _hamiltonian_cache.get(key) if cache else None
+    if cached is None:
+        dim = 2**num_qubits
+        cached = sparse.csr_matrix((dim, dim), dtype=complex)
+        for string, coeff in hamiltonian.terms.items():
+            if string.max_qubit() >= num_qubits:
+                raise SimulationError(
+                    f"string {string} touches qubit {string.max_qubit()} "
+                    f"but the register has only {num_qubits} qubits"
+                )
+            cached = cached + coeff * _string_matrix(
+                string.canonical_key, num_qubits
+            )
+        if cache:
+            _hamiltonian_cache.put(key, cached)
+    return cached.copy() if copy else cached
 
 
 def number_operator_matrix(qubit: int, num_qubits: int) -> sparse.csr_matrix:

@@ -8,7 +8,7 @@ real-device metrics are computed from 1000-shot histograms.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Unit tests for the Rydberg and Heisenberg instruction sets."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the sweep harness that powers the Figure-3/4 benchmarks."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ import pytest
 from repro import QTurboCompiler
 from repro.aais import HeisenbergAAIS, RydbergAAIS
 from repro.baseline import MixedSystem, SimuQStyleCompiler
-from repro.devices import HeisenbergSpec
 from repro.errors import CompilationError
 from repro.models import ising_chain
 

@@ -1,6 +1,5 @@
 """Integration-level tests of the QTurbo compiler pipeline."""
 
-import math
 
 import pytest
 

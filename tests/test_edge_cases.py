@@ -9,7 +9,6 @@ from repro import QTurboCompiler
 from repro.aais import HeisenbergAAIS, RydbergAAIS
 from repro.devices import HeisenbergSpec, RydbergSpec, aquila_spec
 from repro.devices.base import TrapGeometry
-from repro.errors import CompilationError, ScheduleError
 from repro.hamiltonian import Hamiltonian, PauliString, x, z, zz
 from repro.models import ising_chain
 

@@ -1,5 +1,6 @@
 """Smoke tests: the shipped examples must run end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,14 +8,22 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    # Prepend src/ so the examples work from a checkout without an
+    # editable install (harmless when the package is installed).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

@@ -5,7 +5,6 @@ the compiled schedule, executed on the (noiseless) simulator, must
 reproduce the *target* system's dynamics.
 """
 
-import numpy as np
 import pytest
 
 from repro import QTurboCompiler

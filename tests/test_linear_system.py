@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.aais import HeisenbergAAIS
 from repro.core.linear_system import (
     GlobalLinearSystem,
     b_difference_l1,
     l1_norm,
 )
-from repro.devices import paper_example_spec
 from repro.hamiltonian import PauliString
 from repro.models import ising_chain
 

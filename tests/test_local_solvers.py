@@ -14,7 +14,7 @@ from repro.core.local_solvers import (
     select_strategy,
 )
 from repro.core.partition import partition_channels
-from repro.devices import aquila_spec, paper_example_spec
+from repro.devices import aquila_spec
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ import pytest
 
 from repro import QTurboCompiler
 from repro.analysis import (
-    Comparison,
     compare,
     format_number,
     format_table,
@@ -17,7 +16,7 @@ from repro.baseline import SimuQStyleCompiler
 from repro.core.mapping import apply_mapping, find_mapping, interaction_graph
 from repro.errors import MappingError
 from repro.hamiltonian import x, zz
-from repro.models import ising_chain, ising_cycle
+from repro.models import ising_chain
 
 
 class TestInteractionGraph:

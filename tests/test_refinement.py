@@ -1,6 +1,5 @@
 """Unit tests for the Section-6.2 refinement pass."""
 
-import numpy as np
 import pytest
 
 from repro.core.linear_system import GlobalLinearSystem

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import QTurboCompiler
-from repro.aais import RydbergAAIS
 from repro.errors import SimulationError
 from repro.models import ising_chain
 from repro.sim import (

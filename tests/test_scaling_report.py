@@ -1,6 +1,5 @@
 """Tests for scaling fits, the text formatter round-trip, and reports."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import HamiltonianError
 from repro.hamiltonian import (
-    Hamiltonian,
     PiecewiseHamiltonian,
     Segment,
     TimeDependentHamiltonian,

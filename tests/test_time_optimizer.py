@@ -9,7 +9,6 @@ from repro.core.time_optimizer import (
     optimize_evolution_time,
 )
 from repro.errors import InfeasibleError
-from repro.models import ising_chain
 
 
 @pytest.fixture

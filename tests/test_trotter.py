@@ -1,6 +1,5 @@
 """Unit tests for the digital Trotterization comparator."""
 
-import math
 
 import numpy as np
 import pytest

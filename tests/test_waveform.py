@@ -97,9 +97,6 @@ class TestScheduleToWaveforms:
     def test_multi_segment_plateaus(self, two_segment_schedule):
         waveforms = schedule_to_waveforms(two_segment_schedule)
         omega = waveforms["omega_0"]
-        expected_last = two_segment_schedule.segments[-1].dynamic_values[
-            "omega_0"
-        ]
         # Mid-program sample sits on the first plateau.
         first_plateau = two_segment_schedule.segments[0].dynamic_values[
             "omega_0"
@@ -108,7 +105,6 @@ class TestScheduleToWaveforms:
         assert omega.sample(mid_first) == pytest.approx(
             first_plateau, rel=1e-6
         )
-        del expected_last
 
     def test_ramp_error_bound_small_and_nonnegative(self, schedule):
         waveforms = schedule_to_waveforms(schedule)
