@@ -66,6 +66,8 @@ def reset_worker_compilers() -> None:
     """Drop the in-process compiler memo (benchmark cold-start hygiene)."""
     with _WORKER_COMPILERS_LOCK:
         _WORKER_COMPILERS.clear()
+    if _ideal_state_cache is not None:
+        _ideal_state_cache.clear()
 
 
 def _compiler_for(job: BatchJob) -> QTurboCompiler:
@@ -83,6 +85,31 @@ def _compiler_for(job: BatchJob) -> QTurboCompiler:
     return compiler
 
 
+#: Worker-side memo of ideal reference states.  Repeated-target batches
+#: verify the same piecewise evolution once per process instead of once
+#: per job; the compiled-schedule evolution below additionally rides the
+#: simulation fast paths (diagonal segments, dense propagator cache) of
+#: :mod:`repro.sim.evolution` for recurring segments.
+_IDEAL_STATE_CACHE_SIZE = 64
+_ideal_state_cache = None
+
+
+def _ideal_state_cache_get():
+    global _ideal_state_cache
+    cache = _ideal_state_cache
+    if cache is None:
+        from repro.sim.operators import MatrixCache
+
+        # Double-checked under the shared lock: thread-executor workers
+        # can race the first verification, and an unguarded assignment
+        # would silently drop one instance's entries.
+        with _WORKER_COMPILERS_LOCK:
+            if _ideal_state_cache is None:
+                _ideal_state_cache = MatrixCache(_IDEAL_STATE_CACHE_SIZE)
+            cache = _ideal_state_cache
+    return cache
+
+
 def _verify_fidelity(job: BatchJob, result) -> Optional[float]:
     """State fidelity between the target evolution and the compiled pulse."""
     from repro.sim import (
@@ -94,7 +121,18 @@ def _verify_fidelity(job: BatchJob, result) -> Optional[float]:
 
     num_qubits = job.aais.num_sites
     initial = ground_state(num_qubits)
-    ideal = evolve_piecewise(initial, job.target, num_qubits)
+    cache = _ideal_state_cache_get()
+    key = (
+        tuple(
+            (segment.hamiltonian.canonical_key(), segment.duration)
+            for segment in job.target.segments
+        ),
+        num_qubits,
+    )
+    ideal = cache.get(key)
+    if ideal is None:
+        ideal = evolve_piecewise(initial, job.target, num_qubits)
+        cache.put(key, ideal)
     compiled = evolve_schedule(initial, result.schedule)
     return float(state_fidelity(ideal, compiled))
 

@@ -13,6 +13,14 @@ Commands
 ``batch``
     Compile a sweep of jobs (model × sizes × repeats) concurrently
     through :mod:`repro.batch` and report throughput plus cache stats.
+``simulate``
+    Compile a workload and execute it through the vectorized
+    Monte-Carlo noisy simulator (optionally with ZNE mitigation),
+    printing observables and simulation-cache statistics.
+``cache-stats``
+    Print the operator and simulation fast-path cache statistics of
+    this process as JSON (most informative at the end of a workload —
+    ``simulate``/``batch --verify`` include the same report inline).
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.devices.base import TrapGeometry
 from repro.hamiltonian import Hamiltonian, parse_hamiltonian
 from repro.models import build_model, model_names
 from repro.sim.operators import operator_cache_stats
+from repro.sim.propagators import simulation_cache_stats
 
 __all__ = ["main", "build_parser"]
 
@@ -99,6 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("summary", "json"),
         default="summary",
         help="print per-job lines or the full batch report as JSON",
+    )
+
+    simulate_cmd = sub.add_parser(
+        "simulate", help="noisy Monte-Carlo simulation of a compiled pulse"
+    )
+    _add_workload_args(simulate_cmd)
+    simulate_cmd.add_argument(
+        "--shots", type=int, default=1000, help="measurement shots"
+    )
+    simulate_cmd.add_argument(
+        "--noise-samples",
+        type=int,
+        default=20,
+        help="quasi-static noise realizations the shots are split across",
+    )
+    simulate_cmd.add_argument(
+        "--seed", type=int, default=0, help="simulator RNG seed"
+    )
+    simulate_cmd.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="use the per-realization Krylov loop (baseline path)",
+    )
+    simulate_cmd.add_argument(
+        "--zne",
+        metavar="FACTORS",
+        help="comma-separated stretch factors, e.g. 1,1.5,2 — runs "
+        "zero-noise extrapolation and reports mitigated observables",
+    )
+    simulate_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="include operator/simulation cache statistics in the output",
+    )
+
+    sub.add_parser(
+        "cache-stats",
+        help="print operator + simulation cache statistics as JSON",
     )
     return parser
 
@@ -259,9 +306,11 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     batch = compiler.compile_many(jobs)
     cache_stats = operator_cache_stats()
+    sim_stats = simulation_cache_stats()
     if args.output == "json":
         payload = batch.as_dict()
         payload["operator_cache"] = cache_stats
+        payload["simulation_cache"] = sim_stats
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for outcome in batch.outcomes:
@@ -285,7 +334,12 @@ def _command_batch(args: argparse.Namespace) -> int:
             print(line)
         print(batch.summary())
         if args.verify:
-            ham = cache_stats["hamiltonian"]
+            # The Krylov evolution path reads the CSC cache; report
+            # whichever operator layer saw the batch's traffic.
+            ham = max(
+                (cache_stats["hamiltonian"], cache_stats["hamiltonian_csc"]),
+                key=lambda stats: stats["hits"] + stats["misses"],
+            )
             line = (
                 f"operator cache: {ham['hits']:.0f} hits / "
                 f"{ham['misses']:.0f} misses "
@@ -296,7 +350,90 @@ def _command_batch(args: argparse.Namespace) -> int:
                 # parent's counters only see in-process work.
                 line += "  [worker-local caches not included]"
             print(line)
+            propagator = sim_stats["propagator"]
+            fast = sim_stats["fast_paths"]
+            print(
+                f"propagator cache: {propagator['hits']:.0f} hits / "
+                f"{propagator['misses']:.0f} misses  fast paths: "
+                f"diagonal {fast['diagonal']}, propagator "
+                f"{fast['propagator']}, dense {fast['dense_build']}, "
+                f"krylov {fast['krylov']}"
+            )
     return 0 if batch.all_succeeded else 1
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.sim import NoisySimulator
+
+    if args.shots < 1:
+        raise CLIUsageError(f"--shots must be >= 1, got {args.shots}")
+    target = _build_target(args)
+    aais = _build_aais(args, target)
+    result = QTurboCompiler(aais).compile(target, args.time)
+    if not result.success or result.schedule is None:
+        print(f"error: compilation failed: {result.summary()}", file=sys.stderr)
+        return 1
+    simulator = NoisySimulator(
+        noise_samples=args.noise_samples,
+        seed=args.seed,
+        vectorized=not args.no_vectorized,
+    )
+    payload = {
+        "workload": result.summary(),
+        "shots": args.shots,
+        "noise_samples": args.noise_samples,
+        "vectorized": not args.no_vectorized,
+    }
+    tick = time.perf_counter()
+    if args.zne:
+        from repro.mitigation import zne_observables
+
+        try:
+            factors = [
+                float(part) for part in args.zne.split(",") if part
+            ]
+        except ValueError:
+            raise CLIUsageError(
+                f"--zne must be comma-separated floats, got {args.zne!r}"
+            ) from None
+        zne = zne_observables(
+            result.schedule, simulator, factors=factors, shots=args.shots
+        )
+        payload["zne"] = {
+            "factors": list(zne.factors),
+            "raw": {k: list(v) for k, v in zne.raw.items()},
+            "mitigated": zne.mitigated,
+        }
+    else:
+        payload["observables"] = simulator.observables(
+            result.schedule, shots=args.shots
+        )
+    payload["seconds"] = time.perf_counter() - tick
+    total_shots = args.shots * (
+        len(payload["zne"]["factors"]) if args.zne else 1
+    )
+    payload["shots_per_sec"] = total_shots / max(payload["seconds"], 1e-9)
+    if args.stats:
+        payload["operator_cache"] = operator_cache_stats()
+        payload["simulation_cache"] = simulation_cache_stats()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_cache_stats(_args: argparse.Namespace) -> int:
+    print(
+        json.dumps(
+            {
+                "operator_cache": operator_cache_stats(),
+                "simulation_cache": simulation_cache_stats(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
 
 
 class CLIUsageError(Exception):
@@ -312,6 +449,8 @@ def main(argv: Optional[list] = None) -> int:
         "models": _command_models,
         "compare": _command_compare,
         "batch": _command_batch,
+        "simulate": _command_simulate,
+        "cache-stats": _command_cache_stats,
     }
     try:
         return handlers[args.command](args)

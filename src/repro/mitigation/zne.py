@@ -22,6 +22,10 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.pulse.schedule import PulseSchedule, PulseSegment
 from repro.sim.noise import NoisySimulator
+from repro.sim.sampling import (
+    z_average_from_samples,
+    zz_average_from_samples,
+)
 
 __all__ = [
     "stretch_schedule",
@@ -121,19 +125,25 @@ def zne_observables(
 
     The first factor should be 1.0 (the compiled pulse itself) so
     :meth:`ZNEResult.improvement_over_unmitigated` is meaningful.
+
+    All stretch replicas are built up front and dispatched through
+    :meth:`NoisySimulator.run_many`, so each one rides the simulator's
+    vectorized block-evolution path (every replica's noise realizations
+    evolve as one ``(2^N, k)`` state block).
     """
     if not factors:
         raise SimulationError("need at least one stretch factor")
+    schedules = [
+        schedule if factor == 1.0 else stretch_schedule(schedule, factor)
+        for factor in factors
+    ]
+    samples_per_factor = simulator.run_many(schedules, shots=shots, rng=rng)
     raw: Dict[str, List[float]] = {"z_avg": [], "zz_avg": []}
-    for factor in factors:
-        stretched = (
-            schedule if factor == 1.0 else stretch_schedule(schedule, factor)
+    for samples in samples_per_factor:
+        raw["z_avg"].append(z_average_from_samples(samples))
+        raw["zz_avg"].append(
+            zz_average_from_samples(samples, periodic=periodic)
         )
-        metrics = simulator.observables(
-            stretched, shots=shots, periodic=periodic, rng=rng
-        )
-        raw["z_avg"].append(metrics["z_avg"])
-        raw["zz_avg"].append(metrics["zz_avg"])
     mitigated = {
         key: richardson_extrapolate(list(factors), values)
         for key, values in raw.items()

@@ -2,8 +2,10 @@
 
 from repro.sim.evolution import (
     evolve,
+    evolve_block,
     evolve_piecewise,
     evolve_schedule,
+    evolve_schedule_block,
     ground_state,
     plus_state,
 )
@@ -23,9 +25,16 @@ from repro.sim.observables import (
 )
 from repro.sim.operators import (
     hamiltonian_matrix,
+    hamiltonian_matrix_csc,
     number_operator_matrix,
+    operator_cache_stats,
     pauli_matrix,
     pauli_string_matrix,
+)
+from repro.sim.propagators import (
+    clear_simulation_caches,
+    configure_simulation_caches,
+    simulation_cache_stats,
 )
 from repro.sim.sampling import (
     apply_readout_error,
@@ -39,8 +48,10 @@ __all__ = [
     "ground_state",
     "plus_state",
     "evolve",
+    "evolve_block",
     "evolve_piecewise",
     "evolve_schedule",
+    "evolve_schedule_block",
     "expectation",
     "pauli_expectation",
     "z_average",
@@ -50,7 +61,12 @@ __all__ = [
     "pauli_matrix",
     "pauli_string_matrix",
     "hamiltonian_matrix",
+    "hamiltonian_matrix_csc",
     "number_operator_matrix",
+    "operator_cache_stats",
+    "simulation_cache_stats",
+    "clear_simulation_caches",
+    "configure_simulation_caches",
     "sample_bitstrings",
     "counts_from_samples",
     "apply_readout_error",

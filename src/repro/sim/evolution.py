@@ -2,13 +2,29 @@
 
 This plays the role of both QuTiP (the paper's theory curves) and Bloqade
 (the pulse-level simulation of compiled schedules): evolve an initial
-state under ``exp(−i H t)`` segment by segment using
-:func:`scipy.sparse.linalg.expm_multiply`.
+state under ``exp(−i H t)`` segment by segment.
+
+Every ``evolve*`` entry point accepts either a single state vector of
+shape ``(2^N,)`` or a **block** of ``k`` states as a ``(2^N, k)`` matrix
+whose columns evolve independently — one solver call pushes all columns
+at once.  On top of the block API, three fast paths (see
+:mod:`repro.sim.propagators`) replace the generic Krylov solver
+(:func:`scipy.sparse.linalg.expm_multiply`) whenever they are cheaper:
+
+* Z-only Hamiltonians apply ``exp(−i·t·diag)`` as an elementwise phase;
+* small registers exponentiate dense matrices (batched across noise
+  realizations) instead of iterating Krylov per state;
+* recurring ``(H, t)`` segments hit the dense propagator cache and
+  reduce to a single matmul.
+
+``method="krylov"`` forces the plain ``expm_multiply`` path — the
+benchmark baseline and the reference the fast paths are tested against.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.sparse.linalg import expm_multiply
@@ -17,15 +33,30 @@ from repro.errors import SimulationError
 from repro.hamiltonian.expression import Hamiltonian
 from repro.hamiltonian.time_dependent import PiecewiseHamiltonian
 from repro.pulse.schedule import PulseSchedule
-from repro.sim.operators import hamiltonian_matrix
+from repro.sim.operators import _check_size, hamiltonian_matrix_csc
+from repro.sim.propagators import (
+    batched_propagators,
+    cached_propagator,
+    diagonal_vector,
+    is_diagonal_hamiltonian,
+    propagator_build_max_qubits,
+    propagator_max_qubits,
+    record_fast_path,
+    store_propagator,
+)
 
 __all__ = [
     "ground_state",
     "plus_state",
     "evolve",
+    "evolve_block",
     "evolve_piecewise",
     "evolve_schedule",
+    "evolve_schedule_block",
 ]
+
+#: Recognized values of the ``method`` argument.
+EVOLVE_METHODS = ("auto", "krylov", "dense")
 
 
 def ground_state(num_qubits: int) -> np.ndarray:
@@ -46,12 +77,49 @@ def plus_state(num_qubits: int) -> np.ndarray:
 
 
 def _check_state(state: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Coerce to complex and validate a ``(2^N,)`` vector or ``(2^N, k)``
+    column block."""
     state = np.asarray(state, dtype=complex)
-    if state.shape != (2**num_qubits,):
+    dim = 2**num_qubits
+    if state.ndim not in (1, 2) or state.shape[0] != dim:
         raise SimulationError(
-            f"state has dimension {state.shape}, expected (2^{num_qubits},)"
+            f"state has shape {state.shape}, expected (2^{num_qubits},) "
+            f"or (2^{num_qubits}, k)"
         )
     return state
+
+
+def _check_method(method: str) -> None:
+    if method not in EVOLVE_METHODS:
+        raise SimulationError(
+            f"unknown evolve method {method!r}; expected one of "
+            f"{EVOLVE_METHODS}"
+        )
+
+
+def _columns(state: np.ndarray) -> int:
+    return 1 if state.ndim == 1 else state.shape[1]
+
+
+def _apply_phase(
+    state: np.ndarray, diagonal: np.ndarray, duration: float
+) -> np.ndarray:
+    phase = np.exp(-1j * duration * diagonal)
+    if state.ndim == 1:
+        return state * phase
+    return state * phase[:, None]
+
+
+def _krylov(
+    state: np.ndarray,
+    hamiltonian: Hamiltonian,
+    duration: float,
+    num_qubits: int,
+    cache: bool,
+) -> np.ndarray:
+    matrix = hamiltonian_matrix_csc(hamiltonian, num_qubits, cache=cache)
+    record_fast_path("krylov", _columns(state))
+    return expm_multiply(-1j * duration * matrix, state)
 
 
 def evolve(
@@ -60,32 +128,211 @@ def evolve(
     duration: float,
     num_qubits: int,
     cache: bool = True,
+    method: str = "auto",
 ) -> np.ndarray:
     """``exp(−i H t) |ψ⟩`` for a constant Hamiltonian.
 
-    ``cache=False`` bypasses the operator matrix cache — use it for
-    one-shot Hamiltonians (noise realizations) that would otherwise
-    pollute the cache without ever being hit.
+    A thin wrapper over :func:`evolve_block` — single vectors and
+    single-Hamiltonian blocks share its fast-path dispatch.
+
+    Parameters
+    ----------
+    state:
+        A ``(2^N,)`` vector or a ``(2^N, k)`` block whose columns evolve
+        independently under the same Hamiltonian.
+    cache:
+        ``cache=False`` stores nothing keyed on this Hamiltonian (no
+        operator matrix, assembled diagonal, or propagator entries) —
+        use it for one-shot Hamiltonians (noise realizations) that
+        would otherwise pollute the caches without ever being hit.
+        Fast paths still apply, shared per-string basis caches still
+        fill, and an already-cached propagator is still used.
+    method:
+        ``"auto"`` picks the cheapest path; ``"krylov"`` forces plain
+        ``expm_multiply`` (the pre-vectorization baseline); ``"dense"``
+        forces the dense-propagator path regardless of the size
+        thresholds (above ``propagator_max_qubits`` the unitary is
+        built but not cached; > ``MAX_QUBITS`` registers are refused at
+        the operator layer).
     """
-    if duration < 0:
-        raise SimulationError(f"negative duration {duration}")
     state = _check_state(state, num_qubits)
-    if duration == 0 or hamiltonian.is_zero:
-        return state.copy()
-    matrix = hamiltonian_matrix(
-        hamiltonian, num_qubits, copy=False, cache=cache
+    if state.ndim == 1:
+        out = evolve_block(
+            state[:, None],
+            [hamiltonian],
+            duration,
+            num_qubits,
+            cache=cache,
+            method=method,
+        )
+        return out[:, 0]
+    return evolve_block(
+        state,
+        [hamiltonian] * state.shape[1],
+        duration,
+        num_qubits,
+        cache=cache,
+        method=method,
     )
-    return expm_multiply(-1j * duration * matrix.tocsc(), state)
+
+
+def evolve_block(
+    states: np.ndarray,
+    hamiltonians: Sequence[Hamiltonian],
+    durations: Union[float, Sequence[float]],
+    num_qubits: int,
+    cache: bool = False,
+    method: str = "auto",
+) -> np.ndarray:
+    """Evolve column ``i`` of ``states`` under ``hamiltonians[i]``.
+
+    The engine groups columns that share a ``(Hamiltonian, duration)``
+    pair — one solver call per *distinct* Hamiltonian, not per column —
+    then dispatches each group to the cheapest path: diagonal phase
+    multiply, cached propagator, batched dense ``expm`` (all misses of a
+    segment are assembled and exponentiated together), or a blocked
+    Krylov solve.
+
+    Parameters
+    ----------
+    states:
+        ``(2^N, k)`` complex matrix; column ``i`` is realization ``i``.
+    hamiltonians:
+        ``k`` Hamiltonians (repeats are fine and encouraged — identical
+        entries evolve together).
+    durations:
+        One shared duration or a length-``k`` sequence.
+    cache:
+        Whether the per-group operators/propagators may be memoized.
+        Defaults to False because block callers typically evolve
+        one-shot noise realizations.
+    """
+    _check_method(method)
+    # Refuse > MAX_QUBITS registers up front (every downstream path —
+    # diagonal, dense, Krylov — would otherwise build a 2^N operator).
+    _check_size(num_qubits)
+    states = _check_state(states, num_qubits)
+    if states.ndim != 2:
+        raise SimulationError(
+            f"evolve_block needs a (2^{num_qubits}, k) column block, got "
+            f"shape {states.shape}"
+        )
+    k = states.shape[1]
+    if len(hamiltonians) != k:
+        raise SimulationError(
+            f"{len(hamiltonians)} Hamiltonians for {k} state columns"
+        )
+    if np.isscalar(durations):
+        duration_list = [float(durations)] * k
+    else:
+        duration_list = [float(d) for d in durations]
+        if len(duration_list) != k:
+            raise SimulationError(
+                f"{len(duration_list)} durations for {k} state columns"
+            )
+    for duration in duration_list:
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration}")
+
+    # Group columns by (canonical Hamiltonian, duration).  The key is
+    # memoized per Hamiltonian *object* so a [h] * k block computes it
+    # once, not k times.
+    groups: "OrderedDict[Tuple, Tuple[Hamiltonian, float, List[int]]]" = (
+        OrderedDict()
+    )
+    key_by_id: Dict[int, Tuple] = {}
+    for col, (hamiltonian, duration) in enumerate(
+        zip(hamiltonians, duration_list)
+    ):
+        ham_key = key_by_id.get(id(hamiltonian))
+        if ham_key is None:
+            ham_key = hamiltonian.canonical_key()
+            key_by_id[id(hamiltonian)] = ham_key
+        key = (ham_key, duration)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = (hamiltonian, duration, [col])
+        else:
+            entry[2].append(col)
+
+    out = np.empty_like(states)
+    dense_pending: List[Tuple[Hamiltonian, float, List[int]]] = []
+    for hamiltonian, duration, cols in groups.values():
+        block = states[:, cols]
+        if duration == 0 or hamiltonian.is_zero:
+            out[:, cols] = block
+        elif method == "auto" and is_diagonal_hamiltonian(hamiltonian):
+            record_fast_path("diagonal", len(cols))
+            diagonal = diagonal_vector(hamiltonian, num_qubits, cache=cache)
+            out[:, cols] = _apply_phase(block, diagonal, duration)
+        elif method != "krylov" and (
+            method == "dense" or num_qubits <= propagator_max_qubits()
+        ):
+            # A miss can only be followed by a store when a dense build
+            # is allowed AND the caller permits caching; otherwise probe
+            # without stats so guaranteed misses (one-shot noise
+            # realizations, oversized registers) don't dilute the
+            # cache's hit rate.
+            buildable = (
+                method == "dense"
+                or num_qubits <= propagator_build_max_qubits()
+            )
+            unitary = cached_propagator(
+                hamiltonian,
+                duration,
+                num_qubits,
+                count_stats=buildable and cache,
+            )
+            if unitary is not None:
+                record_fast_path("propagator", len(cols))
+                out[:, cols] = unitary @ block
+            elif buildable:
+                dense_pending.append((hamiltonian, duration, cols))
+            else:
+                out[:, cols] = _krylov(
+                    block, hamiltonian, duration, num_qubits, cache
+                )
+        else:
+            out[:, cols] = _krylov(
+                block, hamiltonian, duration, num_qubits, cache
+            )
+
+    if dense_pending:
+        # All cache misses of the block are assembled in one BLAS call
+        # and exponentiated with one batched expm.
+        unitaries = batched_propagators(
+            [h for h, _, _ in dense_pending],
+            [t for _, t, _ in dense_pending],
+            num_qubits,
+        )
+        for (hamiltonian, duration, cols), unitary in zip(
+            dense_pending, unitaries
+        ):
+            record_fast_path("dense_build", len(cols))
+            if cache:
+                store_propagator(hamiltonian, duration, num_qubits, unitary)
+            out[:, cols] = unitary @ states[:, cols]
+    return out
 
 
 def evolve_piecewise(
     state: np.ndarray,
     target: PiecewiseHamiltonian,
     num_qubits: int,
+    method: str = "auto",
 ) -> np.ndarray:
-    """Chain :func:`evolve` across all segments of a piecewise target."""
+    """Chain :func:`evolve` across all segments of a piecewise target.
+
+    Accepts single states and ``(2^N, k)`` blocks alike.
+    """
     for segment in target.segments:
-        state = evolve(state, segment.hamiltonian, segment.duration, num_qubits)
+        state = evolve(
+            state,
+            segment.hamiltonian,
+            segment.duration,
+            num_qubits,
+            method=method,
+        )
     return state
 
 
@@ -93,25 +340,30 @@ def evolve_schedule(
     state: np.ndarray,
     schedule: PulseSchedule,
     value_overrides: Optional[Sequence[dict]] = None,
+    method: str = "auto",
 ) -> np.ndarray:
     """Evolve under the simulator Hamiltonian of a compiled schedule.
 
     Parameters
     ----------
     state:
-        Initial state vector on ``schedule.aais.num_sites`` qubits.
+        Initial state on ``schedule.aais.num_sites`` qubits — a vector
+        or a ``(2^N, k)`` column block (all columns see the same
+        schedule).
     schedule:
         The compiled pulse program.
     value_overrides:
         Optional per-segment variable overrides (used by the noise model
         to inject control errors); each entry updates that segment's
         variable assignment before the Hamiltonian is built.
+    method:
+        Evolution method forwarded to :func:`evolve`.
     """
     num_qubits = schedule.aais.num_sites
     state = _check_state(state, num_qubits)
     # Overridden (noise-perturbed) Hamiltonians are effectively unique
-    # per realization — building them uncached keeps the operator cache
-    # reserved for matrices that can actually recur.
+    # per realization — building them uncached keeps the operator and
+    # propagator caches reserved for matrices that can actually recur.
     cache = value_overrides is None
     for index, segment in enumerate(schedule.segments):
         values = schedule.values_at_segment(index)
@@ -119,6 +371,76 @@ def evolve_schedule(
             values.update(value_overrides[index])
         hamiltonian = schedule.aais.hamiltonian(values)
         state = evolve(
-            state, hamiltonian, segment.duration, num_qubits, cache=cache
+            state,
+            hamiltonian,
+            segment.duration,
+            num_qubits,
+            cache=cache,
+            method=method,
         )
     return state
+
+
+def evolve_schedule_block(
+    states: np.ndarray,
+    schedule: PulseSchedule,
+    value_overrides: Optional[Sequence[Sequence[dict]]] = None,
+    method: str = "auto",
+) -> np.ndarray:
+    """Evolve ``k`` noise realizations of one schedule as a column block.
+
+    This is the Monte-Carlo hot loop restructured: instead of walking
+    the schedule once per realization, each *segment* is visited once
+    and all realizations cross it together via :func:`evolve_block`.
+    Realizations whose overrides coincide for a segment share a single
+    Hamiltonian construction and a single solver call.
+
+    Parameters
+    ----------
+    states:
+        ``(2^N, k)`` block; column ``i`` is realization ``i``.
+    value_overrides:
+        Per realization, a per-segment list of variable overrides
+        (shape ``k × num_segments``); ``None`` evolves all columns under
+        the unperturbed schedule (a plain block :func:`evolve_schedule`).
+    """
+    num_qubits = schedule.aais.num_sites
+    states = _check_state(states, num_qubits)
+    if states.ndim != 2:
+        raise SimulationError(
+            f"evolve_schedule_block needs a (2^{num_qubits}, k) column "
+            f"block, got shape {states.shape}"
+        )
+    if value_overrides is None:
+        return evolve_schedule(states, schedule, method=method)
+    k = states.shape[1]
+    if len(value_overrides) != k:
+        raise SimulationError(
+            f"{len(value_overrides)} override lists for {k} state columns"
+        )
+    for index, segment in enumerate(schedule.segments):
+        base = schedule.values_at_segment(index)
+        # Deduplicate Hamiltonian construction across realizations:
+        # with some noise channels disabled (or duplicated draws) many
+        # columns share the exact same override entry.
+        built: Dict[Tuple, Hamiltonian] = {}
+        hams: List[Hamiltonian] = []
+        for col in range(k):
+            entry = value_overrides[col][index]
+            key = tuple(sorted(entry.items()))
+            hamiltonian = built.get(key)
+            if hamiltonian is None:
+                values = dict(base)
+                values.update(entry)
+                hamiltonian = schedule.aais.hamiltonian(values)
+                built[key] = hamiltonian
+            hams.append(hamiltonian)
+        states = evolve_block(
+            states,
+            hams,
+            segment.duration,
+            num_qubits,
+            cache=False,
+            method=method,
+        )
+    return states

@@ -13,18 +13,31 @@ real-device claim that *shorter compiled pulses suffer less noise*:
   probability ``1 − exp(−T_exec / t1)``;
 * **SPAM** — asymmetric readout bit flips (Rydberg-state detection is
   worse than ground-state detection on real hardware).
+
+The Monte-Carlo executor is vectorized: all noise realizations are
+drawn up front with array-shaped RNG calls, evolved together as a
+``(2^N, k)`` state block via :func:`repro.sim.evolution
+.evolve_schedule_block` (one solver call per *distinct* Hamiltonian per
+segment instead of one per realization), and corrupted with a single
+batched relaxation/readout pass over the stacked shot array.  The
+pre-vectorization per-realization loop survives behind
+``vectorized=False`` as the benchmark baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.pulse.schedule import PulseSchedule
-from repro.sim.evolution import evolve_schedule, ground_state
+from repro.sim.evolution import (
+    evolve_schedule,
+    evolve_schedule_block,
+    ground_state,
+)
 from repro.sim.sampling import (
     apply_readout_error,
     sample_bitstrings,
@@ -91,6 +104,22 @@ class NoisySimulator:
     realizations; within a realization the state evolves coherently and
     shots differ only in measurement randomness, matching how slow drifts
     manifest on real hardware.
+
+    Parameters
+    ----------
+    noise:
+        Channel strengths; Aquila-flavoured defaults when None.
+    noise_samples:
+        Number of quasi-static realizations the shots are split across.
+    seed:
+        Default RNG seed (used when ``run`` is not handed an explicit
+        generator).
+    vectorized:
+        True (default) evolves all realizations as one state block with
+        the fast-path engine; False reproduces the pre-vectorization
+        per-realization Krylov loop (benchmark baseline).  Both paths
+        draw identical realizations and consume measurement randomness
+        identically, so with equal states they yield equal samples.
     """
 
     def __init__(
@@ -98,41 +127,122 @@ class NoisySimulator:
         noise: NoiseParameters = None,
         noise_samples: int = 20,
         seed: int = 0,
+        vectorized: bool = True,
     ):
         if noise_samples < 1:
             raise SimulationError("noise_samples must be >= 1")
         self.noise = noise if noise is not None else aquila_noise()
         self.noise_samples = int(noise_samples)
         self.seed = int(seed)
+        self.vectorized = bool(vectorized)
 
     # ------------------------------------------------------------------
-    def _draw_overrides(
-        self, schedule: PulseSchedule, rng: np.random.Generator
-    ) -> List[Dict[str, float]]:
-        """One quasi-static noise realization: per-segment overrides."""
-        noise = self.noise
-        static: Dict[str, float] = {}
-        rabi_scale = 1.0 + rng.normal(0.0, noise.rabi_relative_sigma)
-        amp_scale = 1.0 + rng.normal(0.0, noise.amplitude_relative_sigma)
-        detuning_shift = rng.normal(0.0, noise.detuning_sigma)
-        for name, value in schedule.fixed_values.items():
-            if name.startswith(("x_", "y_")) and noise.position_sigma > 0:
-                static[name] = value + rng.normal(0.0, noise.position_sigma)
+    def _draw_override_batch(
+        self,
+        schedule: PulseSchedule,
+        rng: np.random.Generator,
+        count: int,
+    ) -> List[List[Dict[str, float]]]:
+        """``count`` quasi-static realizations, drawn with array calls.
 
-        overrides: List[Dict[str, float]] = []
-        for segment in schedule.segments:
-            entry = dict(static)
-            for name, value in segment.dynamic_values.items():
-                if name.startswith("omega"):
-                    entry[name] = value * rabi_scale
-                elif name.startswith("delta"):
-                    entry[name] = value + detuning_shift
-                elif name.startswith("phi"):
-                    continue  # phase control is digital and essentially exact
-                elif name.startswith("a_"):
-                    entry[name] = value * amp_scale
-            overrides.append(entry)
-        return overrides
+        Returns one per-segment override list per realization.  Every
+        noise knob is drawn as a length-``count`` vector (one RNG call
+        per channel instead of one per realization), then scattered into
+        the per-realization override dictionaries.
+        """
+        noise = self.noise
+        rabi_scales = 1.0 + rng.normal(0.0, noise.rabi_relative_sigma, count)
+        amp_scales = 1.0 + rng.normal(
+            0.0, noise.amplitude_relative_sigma, count
+        )
+        detuning_shifts = rng.normal(0.0, noise.detuning_sigma, count)
+        position_names = [
+            name
+            for name in schedule.fixed_values
+            if name.startswith(("x_", "y_")) and noise.position_sigma > 0
+        ]
+        jitter = rng.normal(
+            0.0, noise.position_sigma, (count, len(position_names))
+        )
+
+        batch: List[List[Dict[str, float]]] = []
+        for realization in range(count):
+            static = {
+                name: schedule.fixed_values[name]
+                + jitter[realization, position]
+                for position, name in enumerate(position_names)
+            }
+            overrides: List[Dict[str, float]] = []
+            for segment in schedule.segments:
+                entry = dict(static)
+                for name, value in segment.dynamic_values.items():
+                    if name.startswith("omega"):
+                        entry[name] = value * rabi_scales[realization]
+                    elif name.startswith("delta"):
+                        entry[name] = value + detuning_shifts[realization]
+                    elif name.startswith("phi"):
+                        continue  # phase control is digital, essentially exact
+                    elif name.startswith("a_"):
+                        entry[name] = value * amp_scales[realization]
+                overrides.append(entry)
+            batch.append(overrides)
+        return batch
+
+    def _evolve_realizations(
+        self,
+        schedule: PulseSchedule,
+        overrides: Sequence[Sequence[Dict[str, float]]],
+    ) -> np.ndarray:
+        """Final states of all realizations as a ``(2^N, k)`` block."""
+        num_qubits = schedule.aais.num_sites
+        k = len(overrides)
+        if self.vectorized:
+            initial = np.repeat(
+                ground_state(num_qubits)[:, None], k, axis=1
+            )
+            return evolve_schedule_block(initial, schedule, overrides)
+        columns = [
+            evolve_schedule(
+                ground_state(num_qubits),
+                schedule,
+                value_overrides=list(overrides[g]),
+                method="krylov",
+            )
+            for g in range(k)
+        ]
+        return np.stack(columns, axis=1)
+
+    def _sample_and_corrupt(
+        self,
+        states: np.ndarray,
+        per_group: Sequence[int],
+        duration: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Measurement + relaxation + SPAM over all realizations.
+
+        Sampling happens per realization (each has its own CDF), but
+        relaxation and readout errors are applied once over the stacked
+        ``(shots, N)`` array — two RNG calls total instead of two per
+        realization.
+        """
+        collected = [
+            sample_bitstrings(states[:, group], shots, rng=rng)
+            for group, shots in enumerate(per_group)
+        ]
+        samples = np.vstack(collected)
+        decay_probability = 0.0
+        if self.noise.t1 is not None:
+            decay_probability = 1.0 - float(np.exp(-duration / self.noise.t1))
+        if decay_probability > 0:
+            # Relaxation: excited (bit 1) outcomes decay to ground.
+            relax = (samples == 1) & (
+                rng.random(samples.shape) < decay_probability
+            )
+            samples = np.where(relax, 0, samples).astype(np.int8)
+        return apply_readout_error(
+            samples, self.noise.p01, self.noise.p10, rng=rng
+        )
 
     def run(
         self,
@@ -144,36 +254,31 @@ class NoisySimulator:
         if shots < 1:
             raise SimulationError("shots must be >= 1")
         rng = rng if rng is not None else np.random.default_rng(self.seed)
-        num_qubits = schedule.aais.num_sites
-        duration = schedule.total_duration
 
         groups = min(self.noise_samples, shots)
         per_group = [shots // groups] * groups
         for extra in range(shots % groups):
             per_group[extra] += 1
 
-        decay_probability = 0.0
-        if self.noise.t1 is not None:
-            decay_probability = 1.0 - float(np.exp(-duration / self.noise.t1))
+        overrides = self._draw_override_batch(schedule, rng, groups)
+        states = self._evolve_realizations(schedule, overrides)
+        return self._sample_and_corrupt(
+            states, per_group, schedule.total_duration, rng
+        )
 
-        collected = []
-        for group_shots in per_group:
-            overrides = self._draw_overrides(schedule, rng)
-            state = evolve_schedule(
-                ground_state(num_qubits), schedule, value_overrides=overrides
-            )
-            samples = sample_bitstrings(state, group_shots, rng=rng)
-            if decay_probability > 0:
-                # Relaxation: excited (bit 1) outcomes decay to ground.
-                relax = (samples == 1) & (
-                    rng.random(samples.shape) < decay_probability
-                )
-                samples = np.where(relax, 0, samples).astype(np.int8)
-            samples = apply_readout_error(
-                samples, self.noise.p01, self.noise.p10, rng=rng
-            )
-            collected.append(samples)
-        return np.vstack(collected)
+    def run_many(
+        self,
+        schedules: Sequence[PulseSchedule],
+        shots: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[np.ndarray]:
+        """Run several schedules (e.g. ZNE stretch replicas) in order.
+
+        A supplied generator is threaded through every run; with
+        ``rng=None`` each schedule starts from a fresh ``seed``-seeded
+        generator, matching repeated :meth:`run` calls.
+        """
+        return [self.run(s, shots=shots, rng=rng) for s in schedules]
 
     def observables(
         self,

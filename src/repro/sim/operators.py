@@ -33,6 +33,7 @@ __all__ = [
     "pauli_matrix",
     "pauli_string_matrix",
     "hamiltonian_matrix",
+    "hamiltonian_matrix_csc",
     "number_operator_matrix",
     "MatrixCache",
     "operator_cache_stats",
@@ -64,19 +65,23 @@ class MatrixCache:
     lookup/insert because the thread batch executor shares this cache
     across workers — an unguarded ``move_to_end`` can race a concurrent
     eviction and raise ``KeyError``.
+
+    Values may be any immutable-by-convention object (sparse matrices,
+    dense ndarrays, state vectors); the simulation fast-path caches in
+    :mod:`repro.sim.propagators` reuse this class.
     """
 
     __slots__ = ("maxsize", "_data", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int):
         self.maxsize = int(maxsize)
-        self._data: "OrderedDict[object, sparse.csr_matrix]" = OrderedDict()
+        self._data: "OrderedDict[object, object]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, key: object) -> Optional[sparse.csr_matrix]:
+    def get(self, key: object) -> Optional[object]:
         with self._lock:
             try:
                 value = self._data[key]
@@ -87,7 +92,17 @@ class MatrixCache:
             self.hits += 1
             return value
 
-    def put(self, key: object, value: sparse.csr_matrix) -> None:
+    def peek(self, key: object) -> Optional[object]:
+        """Read a value without touching statistics or LRU order.
+
+        For read-through probes by sibling caches (e.g. the CSC cache
+        checking for an already-built CSR form) that must not distort
+        this cache's hit/miss accounting.
+        """
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: object, value: object) -> None:
         if self.maxsize <= 0:
             return
         with self._lock:
@@ -127,6 +142,7 @@ class MatrixCache:
 
 _string_cache = MatrixCache(DEFAULT_STRING_CACHE_SIZE)
 _hamiltonian_cache = MatrixCache(DEFAULT_HAMILTONIAN_CACHE_SIZE)
+_csc_cache = MatrixCache(DEFAULT_HAMILTONIAN_CACHE_SIZE)
 
 
 def operator_cache_stats() -> Dict[str, Dict[str, float]]:
@@ -134,25 +150,30 @@ def operator_cache_stats() -> Dict[str, Dict[str, float]]:
     return {
         "pauli_string": _string_cache.stats(),
         "hamiltonian": _hamiltonian_cache.stats(),
+        "hamiltonian_csc": _csc_cache.stats(),
     }
 
 
 def clear_operator_cache() -> None:
-    """Empty both operator caches and reset their statistics."""
+    """Empty all operator caches and reset their statistics."""
     _string_cache.clear()
     _hamiltonian_cache.clear()
+    _csc_cache.clear()
 
 
 def configure_operator_cache(
     string_maxsize: Optional[int] = None,
     hamiltonian_maxsize: Optional[int] = None,
+    csc_maxsize: Optional[int] = None,
 ) -> None:
     """Resize the operator caches (clears the resized cache)."""
-    global _string_cache, _hamiltonian_cache
+    global _string_cache, _hamiltonian_cache, _csc_cache
     if string_maxsize is not None:
         _string_cache = MatrixCache(string_maxsize)
     if hamiltonian_maxsize is not None:
         _hamiltonian_cache = MatrixCache(hamiltonian_maxsize)
+    if csc_maxsize is not None:
+        _csc_cache = MatrixCache(csc_maxsize)
 
 
 def pauli_matrix(label: str) -> np.ndarray:
@@ -236,6 +257,42 @@ def hamiltonian_matrix(
         if cache:
             _hamiltonian_cache.put(key, cached)
     return cached.copy() if copy else cached
+
+
+def hamiltonian_matrix_csc(
+    hamiltonian: Hamiltonian,
+    num_qubits: int,
+    cache: bool = True,
+) -> sparse.csc_matrix:
+    """The CSC form of :func:`hamiltonian_matrix`, memoized separately.
+
+    ``expm_multiply`` wants CSC; converting the cached CSR matrix on
+    every ``evolve`` call threw away the benefit of a cache hit, so the
+    converted form gets its own LRU.  The returned matrix is shared —
+    callers must not mutate it (scalar multiplication, as in
+    ``-1j * t * matrix``, allocates a fresh matrix and is safe).
+    """
+    _check_size(num_qubits)
+    key = (hamiltonian.canonical_key(), num_qubits)
+    if cache:
+        cached = _csc_cache.get(key)
+        if cached is not None:
+            return cached
+    # Read through to an already-warm CSR entry (one .tocsc() away) but
+    # never *store* the CSR intermediate: the evolution path only ever
+    # reads the CSC entry, so writing both forms would keep two copies
+    # of every evolved Hamiltonian (the CSR cache stays reserved for
+    # the observables path, which reads it directly).  peek() keeps the
+    # probe out of the CSR hit/miss statistics.
+    csr = _hamiltonian_cache.peek(key) if cache else None
+    if csr is None:
+        csr = hamiltonian_matrix(
+            hamiltonian, num_qubits, copy=False, cache=False
+        )
+    csc = csr.tocsc()
+    if cache:
+        _csc_cache.put(key, csc)
+    return csc
 
 
 def number_operator_matrix(qubit: int, num_qubits: int) -> sparse.csr_matrix:

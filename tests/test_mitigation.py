@@ -99,8 +99,23 @@ class TestRichardson:
 
 
 class TestZNEPipeline:
-    def test_mitigation_improves_estimate(self, schedule):
-        """ZNE must beat the raw λ=1 measurement on average."""
+    def test_mitigation_improves_estimate(self):
+        """ZNE must beat the raw λ=1 measurement on average.
+
+        Uses the Heisenberg AAIS, where pulse stretching is *exactly*
+        physics-invariant (every amplitude scales): the λ-series then
+        varies only through noise and Richardson extrapolation reliably
+        removes the smoothly-λ-dependent relaxation channel.  (On the
+        Rydberg device the position-fixed vdW interaction does not
+        stretch, so the ideal observable itself drifts with λ and the
+        improvement is a coin flip — see ``test_physics_invariant``.)
+        """
+        from repro.aais import HeisenbergAAIS
+
+        aais = HeisenbergAAIS(3)
+        schedule = (
+            QTurboCompiler(aais).compile(ising_chain(3), 1.0).schedule
+        )
         ideal = evolve_schedule(ground_state(3), schedule)
         truth = {
             "z_avg": z_average(ideal),
