@@ -9,6 +9,9 @@ steps and gate counts for a 1% accuracy target vs QTurbo's single compiled
 pulse and its measured coefficient error.
 
 Run:  python examples/digital_vs_analog.py
+
+Declarative equivalent (adds the SimuQ-style baseline + artifact store):
+``repro run examples/experiments/digital_vs_analog.yaml``
 """
 
 from repro import QTurboCompiler

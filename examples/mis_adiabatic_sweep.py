@@ -8,6 +8,9 @@ whose evolution times stretch as needed.  This is the Figure-5(b)
 scenario.
 
 Run:  python examples/mis_adiabatic_sweep.py
+
+Declarative equivalent (adds a discretization sweep + artifact store):
+``repro run examples/experiments/mis_adiabatic.yaml``
 """
 
 from repro import QTurboCompiler

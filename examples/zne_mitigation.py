@@ -9,6 +9,9 @@ modest stretches (λ ≤ 1.5, where decay is still ≈linear) and
 extrapolating to λ → 0 removes the smoothly λ-dependent error.
 
 Run:  python examples/zne_mitigation.py
+
+Declarative equivalent (adds a stretch-factor sweep + artifact store):
+``repro run examples/experiments/zne_stretch_study.yaml``
 """
 
 import numpy as np

@@ -16,9 +16,16 @@ Quickstart
 True
 """
 
-from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.aais import HeisenbergAAIS, RydbergAAIS, aais_for_device
 from repro.batch import BatchCompiler, BatchJob, BatchResult
 from repro.core import CompilationResult, QTurboCompiler
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    generate_report,
+    load_spec,
+    run_experiment,
+)
 from repro.devices import (
     HeisenbergSpec,
     RydbergSpec,
@@ -34,7 +41,7 @@ from repro.hamiltonian import (
 )
 from repro.pulse import PulseSchedule
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QTurboCompiler",
@@ -44,6 +51,12 @@ __all__ = [
     "BatchResult",
     "RydbergAAIS",
     "HeisenbergAAIS",
+    "aais_for_device",
+    "ExperimentSpec",
+    "ExperimentRunner",
+    "load_spec",
+    "run_experiment",
+    "generate_report",
     "RydbergSpec",
     "HeisenbergSpec",
     "aquila_spec",

@@ -9,10 +9,13 @@ from repro.aais.channels import (
     VanDerWaalsChannel,
 )
 from repro.aais.heisenberg import HeisenbergAAIS
+from repro.aais.presets import DEVICE_PRESETS, aais_for_device
 from repro.aais.rydberg import RydbergAAIS
 from repro.aais.variables import Variable, VariableKind
 
 __all__ = [
+    "DEVICE_PRESETS",
+    "aais_for_device",
     "AAIS",
     "Instruction",
     "Channel",

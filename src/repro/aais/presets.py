@@ -1,0 +1,125 @@
+"""Named device presets shared by the CLI and the experiment runner.
+
+The presets mirror the paper's evaluation targets: a 1-D and a 2-D
+Rydberg array with the Section-5 worked-example limits, the real Aquila
+spec, and the Heisenberg AAIS.  :func:`aais_for_device` additionally
+accepts spec overrides so declarative experiments can tighten or relax
+individual hardware limits without defining a whole new preset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from repro.aais.base import AAIS
+from repro.aais.heisenberg import HeisenbergAAIS
+from repro.aais.rydberg import RydbergAAIS
+from repro.devices import HeisenbergSpec, RydbergSpec, aquila_spec
+from repro.devices.base import TrapGeometry
+from repro.errors import AAISError
+
+__all__ = ["DEVICE_PRESETS", "aais_for_device"]
+
+#: Preset names accepted by :func:`aais_for_device`.
+DEVICE_PRESETS = ("rydberg", "rydberg-1d", "aquila", "heisenberg")
+
+#: ``device_options`` keys that live on the trap geometry rather than
+#: directly on the device spec.
+_GEOMETRY_KEYS = ("extent", "min_spacing", "dimension")
+
+
+def _base_spec(device: str, num_sites: int):
+    """The unmodified preset spec for ``device`` at ``num_sites`` sites."""
+    if device == "heisenberg":
+        return HeisenbergSpec()
+    if device == "aquila":
+        return aquila_spec()
+    if device == "rydberg":
+        return RydbergSpec(
+            geometry=TrapGeometry(
+                extent=max(75.0, 4.0 * num_sites),
+                min_spacing=4.0,
+                dimension=2,
+            ),
+            delta_max=20.0,
+            omega_max=2.5,
+        )
+    if device == "rydberg-1d":
+        return RydbergSpec(
+            name="rydberg-1d",
+            geometry=TrapGeometry(
+                extent=max(75.0, 9.0 * num_sites),
+                min_spacing=4.0,
+                dimension=1,
+            ),
+            delta_max=20.0,
+            omega_max=2.5,
+        )
+    raise AAISError(
+        f"unknown device preset {device!r}; choose from {DEVICE_PRESETS}"
+    )
+
+
+def _apply_options(spec, options: Mapping[str, object]):
+    """A copy of ``spec`` with ``options`` overrides applied.
+
+    Geometry keys (``extent``/``min_spacing``/``dimension``) rebuild the
+    trap geometry; every other key must name a field of the device spec.
+    """
+    geometry_overrides = {
+        key: options[key] for key in _GEOMETRY_KEYS if key in options
+    }
+    field_overrides = {
+        key: value
+        for key, value in options.items()
+        if key not in _GEOMETRY_KEYS
+    }
+    spec_fields = {f.name for f in dataclasses.fields(spec)}
+    unknown = sorted(set(field_overrides) - spec_fields)
+    if unknown:
+        raise AAISError(
+            f"device_options {unknown} do not apply to the "
+            f"{spec.name!r} preset (fields: {sorted(spec_fields)})"
+        )
+    if geometry_overrides:
+        if "geometry" not in spec_fields:
+            raise AAISError(
+                f"device_options {sorted(geometry_overrides)} do not "
+                f"apply to the {spec.name!r} preset (no trap geometry)"
+            )
+        field_overrides["geometry"] = dataclasses.replace(
+            spec.geometry, **geometry_overrides
+        )
+    return dataclasses.replace(spec, **field_overrides)
+
+
+def aais_for_device(
+    device: str,
+    num_sites: int,
+    options: Optional[Mapping[str, object]] = None,
+) -> AAIS:
+    """Build the AAIS for a named device preset.
+
+    Parameters
+    ----------
+    device:
+        One of :data:`DEVICE_PRESETS`.
+    num_sites:
+        Number of qubits/atoms the instruction set addresses.
+    options:
+        Optional spec overrides — geometry keys (``extent``,
+        ``min_spacing``, ``dimension``) plus any device-spec field such
+        as ``delta_max``, ``omega_max``, ``max_time``, ``single_max``.
+
+    Returns
+    -------
+    AAIS
+        A :class:`RydbergAAIS` or :class:`HeisenbergAAIS` instance.
+    """
+    spec = _base_spec(device, num_sites)
+    if options:
+        spec = _apply_options(spec, options)
+    if device == "heisenberg":
+        return HeisenbergAAIS(num_sites, spec=spec)
+    return RydbergAAIS(num_sites, spec=spec)

@@ -7,7 +7,12 @@ with a serial / thread / process executor, and get a deterministic
 :class:`BatchResult` back with per-job timing and failure capture.
 """
 
-from repro.batch.compiler import BatchCompiler
+from repro.batch.compiler import (
+    HARD_VERIFY_CAP,
+    BatchCompiler,
+    compiler_for,
+    verify_fidelity,
+)
 from repro.batch.executors import (
     EXECUTOR_NAMES,
     BatchExecutor,
@@ -20,6 +25,9 @@ from repro.batch.jobs import BatchJob, BatchResult, JobOutcome
 
 __all__ = [
     "BatchCompiler",
+    "HARD_VERIFY_CAP",
+    "compiler_for",
+    "verify_fidelity",
     "BatchJob",
     "BatchResult",
     "JobOutcome",

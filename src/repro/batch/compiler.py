@@ -33,7 +33,13 @@ from repro.batch.executors import BatchExecutor, resolve_executor
 from repro.batch.jobs import BatchJob, BatchResult, JobOutcome
 from repro.core.compiler import QTurboCompiler
 
-__all__ = ["BatchCompiler", "reset_worker_compilers"]
+__all__ = [
+    "BatchCompiler",
+    "HARD_VERIFY_CAP",
+    "compiler_for",
+    "reset_worker_compilers",
+    "verify_fidelity",
+]
 
 #: Worker-side memo of compilers, keyed on the content digest of the
 #: job's AAIS plus its compiler options.  Content-based (not ``id``)
@@ -45,8 +51,8 @@ _WORKER_COMPILERS_LOCK = threading.Lock()
 _WORKER_COMPILER_CAP = 16
 
 #: Verification is skipped above this register size regardless of the
-#: per-batch cap — dense state vectors grow as 2^N.
-_HARD_VERIFY_CAP = 14
+#: per-batch (or per-experiment) cap — dense state vectors grow as 2^N.
+HARD_VERIFY_CAP = 14
 
 
 def _aais_digest(aais) -> bytes:
@@ -70,7 +76,14 @@ def reset_worker_compilers() -> None:
         _ideal_state_cache.clear()
 
 
-def _compiler_for(job: BatchJob) -> QTurboCompiler:
+def compiler_for(job: BatchJob) -> QTurboCompiler:
+    """The worker-local memoized compiler for a job's (AAIS, options).
+
+    Structurally equal instruction sets with equal compiler options
+    share one :class:`QTurboCompiler` per process, so repeated jobs hit
+    its linear-system cache.  This is the same memo the batch engine's
+    workers use; the experiment runner calls it directly.
+    """
     key = (_aais_digest(job.aais), job.compiler_options)
     with _WORKER_COMPILERS_LOCK:
         compiler = _WORKER_COMPILERS.get(key)
@@ -110,8 +123,14 @@ def _ideal_state_cache_get():
     return cache
 
 
-def _verify_fidelity(job: BatchJob, result) -> Optional[float]:
-    """State fidelity between the target evolution and the compiled pulse."""
+def verify_fidelity(job: BatchJob, result) -> Optional[float]:
+    """State fidelity between the target evolution and the compiled pulse.
+
+    The ideal reference state is memoized per process on the target's
+    canonical segment key, so repeated-target batches and sweeps pay the
+    piecewise evolution once.  Used by batch ``--verify`` and the
+    experiment runner's ``verify`` stage alike.
+    """
     from repro.sim import (
         evolve_piecewise,
         evolve_schedule,
@@ -144,14 +163,14 @@ def _execute_payload(
     index, job, verify, verify_max_qubits = payload
     tick = time.perf_counter()
     try:
-        compiler = _compiler_for(job)
+        compiler = compiler_for(job)
         result = compiler.compile_piecewise(job.target)
         fidelity = None
         verify_skipped = False
         if verify and result.success:
-            cap = min(verify_max_qubits, _HARD_VERIFY_CAP)
+            cap = min(verify_max_qubits, HARD_VERIFY_CAP)
             if job.aais.num_sites <= cap:
-                fidelity = _verify_fidelity(job, result)
+                fidelity = verify_fidelity(job, result)
             else:
                 verify_skipped = True
         return JobOutcome(

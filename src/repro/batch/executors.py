@@ -79,6 +79,7 @@ class SerialExecutor(BatchExecutor):
     def run(
         self, fn: Callable[[P], R], payloads: Sequence[P]
     ) -> List[R]:
+        """Apply ``fn`` to every payload in order, in this thread."""
         return [fn(payload) for payload in payloads]
 
 
@@ -90,6 +91,7 @@ class ThreadBatchExecutor(BatchExecutor):
     def run(
         self, fn: Callable[[P], R], payloads: Sequence[P]
     ) -> List[R]:
+        """Map ``fn`` over payloads on a thread pool, order-preserving."""
         if not payloads:
             return []
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
@@ -104,6 +106,7 @@ class ProcessBatchExecutor(BatchExecutor):
     def run(
         self, fn: Callable[[P], R], payloads: Sequence[P]
     ) -> List[R]:
+        """Map ``fn`` over payloads on a process pool, order-preserving."""
         if not payloads:
             return []
         with ProcessPoolExecutor(max_workers=self.workers) as pool:

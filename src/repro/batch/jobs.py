@@ -196,6 +196,7 @@ class BatchResult:
         return self.num_jobs / self.total_seconds
 
     def failures(self) -> List[JobOutcome]:
+        """The outcomes that errored or reported unsuccessful compiles."""
         return [o for o in self.outcomes if not o.succeeded]
 
     def outcome(self, name: str) -> JobOutcome:
@@ -211,6 +212,7 @@ class BatchResult:
 
     # ------------------------------------------------------------------
     def summary(self) -> str:
+        """One-line human-readable outcome with throughput."""
         return (
             f"{self.num_succeeded}/{self.num_jobs} jobs succeeded in "
             f"{self.total_seconds:.3f} s "

@@ -21,6 +21,12 @@ Commands
     Print the operator and simulation fast-path cache statistics of
     this process as JSON (most informative at the end of a workload —
     ``simulate``/``batch --verify`` include the same report inline).
+``run``
+    Execute a declarative experiment spec (YAML/JSON) end to end —
+    sweep expansion, batched compile + noisy simulation + ZNE, and a
+    resumable artifact directory — then print the aggregated report.
+``report``
+    Re-aggregate an existing run directory into a table / JSON report.
 """
 
 from __future__ import annotations
@@ -30,12 +36,10 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.aais import HeisenbergAAIS, RydbergAAIS
+from repro.aais import DEVICE_PRESETS, aais_for_device
 from repro.baseline import SimuQStyleCompiler
 from repro.batch import EXECUTOR_NAMES, BatchCompiler, BatchJob
 from repro.core import QTurboCompiler
-from repro.devices import HeisenbergSpec, RydbergSpec, aquila_spec
-from repro.devices.base import TrapGeometry
 from repro.hamiltonian import Hamiltonian, parse_hamiltonian
 from repro.models import build_model, model_names
 from repro.sim.operators import operator_cache_stats
@@ -147,6 +151,56 @@ def build_parser() -> argparse.ArgumentParser:
         "cache-stats",
         help="print operator + simulation cache statistics as JSON",
     )
+
+    run_cmd = sub.add_parser(
+        "run", help="execute a declarative experiment spec (YAML/JSON)"
+    )
+    run_cmd.add_argument("spec", help="path to the experiment spec file")
+    run_cmd.add_argument(
+        "--out",
+        help="run directory (default: runs/<name>-<spec-hash>)",
+    )
+    run_cmd.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default=None,
+        help="override the spec's execution.executor",
+    )
+    run_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the spec's execution.workers",
+    )
+    run_cmd.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate the spec and print the expanded job plan only",
+    )
+    run_cmd.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute everything, overwriting existing artifacts",
+    )
+    run_cmd.add_argument(
+        "--output",
+        choices=("summary", "json"),
+        default="summary",
+        help="print the report table or the full report JSON",
+    )
+
+    report_cmd = sub.add_parser(
+        "report", help="aggregate an experiment run directory"
+    )
+    report_cmd.add_argument(
+        "run_dir", help="directory produced by 'repro run'"
+    )
+    report_cmd.add_argument(
+        "--output",
+        choices=("summary", "json"),
+        default="summary",
+        help="print the report table or the full report JSON",
+    )
     return parser
 
 
@@ -167,7 +221,7 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--device",
-        choices=("rydberg", "rydberg-1d", "aquila", "heisenberg"),
+        choices=DEVICE_PRESETS,
         default="rydberg-1d",
         help="target device preset",
     )
@@ -179,34 +233,10 @@ def _build_target(args: argparse.Namespace) -> Hamiltonian:
     return parse_hamiltonian(args.hamiltonian)
 
 
-def _device_aais(device: str, n: int):
-    """An AAIS preset for ``n`` sites on the named device."""
-    if device == "heisenberg":
-        return HeisenbergAAIS(n, spec=HeisenbergSpec())
-    if device == "aquila":
-        return RydbergAAIS(n, spec=aquila_spec())
-    if device == "rydberg":
-        spec = RydbergSpec(
-            geometry=TrapGeometry(
-                extent=max(75.0, 4.0 * n), min_spacing=4.0, dimension=2
-            ),
-            delta_max=20.0,
-            omega_max=2.5,
-        )
-        return RydbergAAIS(n, spec=spec)
-    spec = RydbergSpec(
-        name="rydberg-1d",
-        geometry=TrapGeometry(
-            extent=max(75.0, 9.0 * n), min_spacing=4.0, dimension=1
-        ),
-        delta_max=20.0,
-        omega_max=2.5,
-    )
-    return RydbergAAIS(n, spec=spec)
-
-
 def _build_aais(args: argparse.Namespace, target: Hamiltonian):
-    return _device_aais(args.device, max(args.qubits, target.num_qubits()))
+    return aais_for_device(
+        args.device, max(args.qubits, target.num_qubits())
+    )
 
 
 def _command_compile(args: argparse.Namespace) -> int:
@@ -282,7 +312,7 @@ def _batch_jobs(args: argparse.Namespace) -> List[BatchJob]:
         else:
             target = parse_hamiltonian(args.hamiltonian)
             stem = f"hamiltonian-n{n}"
-        aais = _device_aais(args.device, max(n, target.num_qubits()))
+        aais = aais_for_device(args.device, max(n, target.num_qubits()))
         workloads.append((stem, target, aais))
 
     jobs: List[BatchJob] = []
@@ -422,6 +452,54 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments import ExperimentRunner, generate_report, load_spec
+
+    spec = load_spec(args.spec)
+    runner = ExperimentRunner(executor=args.executor, workers=args.workers)
+    if args.dry_run:
+        jobs = runner.plan(spec)
+        print(
+            f"spec {spec.name} ({spec.spec_hash}): {len(jobs)} job(s), "
+            f"executor={args.executor or spec.execution.executor}"
+        )
+        for job in jobs:
+            overrides = ", ".join(
+                f"{path}={value!r}" for path, value in job.overrides
+            )
+            print(f"  {job.job_id}  seed={job.seed}  {overrides or '(base)'}")
+        return 0
+    run_dir = Path(args.out) if args.out else (
+        Path("runs") / f"{spec.name}-{spec.spec_hash[:8]}"
+    )
+    result = runner.run(spec, run_dir, force=args.force)
+    report = generate_report(run_dir)
+    if args.output == "json":
+        payload = dict(report.payload)
+        payload["executed"] = result.executed
+        payload["resumed"] = result.skipped
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.table())
+        print(result.summary())
+        print(f"report: {run_dir / 'report.json'}")
+    return 0 if result.all_ok else 1
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments import generate_report
+
+    report = generate_report(args.run_dir)
+    if args.output == "json":
+        print(json.dumps(report.payload, indent=2, sort_keys=True))
+    else:
+        print(report.table())
+        print(report.summary())
+    return 0 if report.payload["num_ok"] == report.payload["num_jobs"] else 1
+
+
 def _command_cache_stats(_args: argparse.Namespace) -> int:
     print(
         json.dumps(
@@ -451,6 +529,8 @@ def main(argv: Optional[list] = None) -> int:
         "batch": _command_batch,
         "simulate": _command_simulate,
         "cache-stats": _command_cache_stats,
+        "run": _command_run,
+        "report": _command_report,
     }
     try:
         return handlers[args.command](args)

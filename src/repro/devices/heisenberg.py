@@ -67,6 +67,7 @@ class HeisenbergSpec(DeviceSpec):
         ]
 
     def build_aais(self, num_sites: int):
+        """The Heisenberg AAIS for ``num_sites`` qubits under this spec."""
         from repro.aais.heisenberg import HeisenbergAAIS
 
         return HeisenbergAAIS(num_sites, spec=self)

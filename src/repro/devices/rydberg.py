@@ -66,6 +66,7 @@ class RydbergSpec(DeviceSpec):
         return 2 * pi
 
     def build_aais(self, num_sites: int):
+        """The Rydberg AAIS for ``num_sites`` atoms under this spec."""
         from repro.aais.rydberg import RydbergAAIS
 
         return RydbergAAIS(num_sites, spec=self)

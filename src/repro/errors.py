@@ -17,6 +17,7 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "MappingError",
+    "ExperimentError",
 ]
 
 
@@ -54,3 +55,7 @@ class SimulationError(ReproError):
 
 class MappingError(ReproError):
     """Target-to-simulator site mapping failures."""
+
+
+class ExperimentError(ReproError):
+    """Malformed experiment specs or corrupted run directories."""

@@ -1,0 +1,52 @@
+"""Declarative experiment orchestration: spec files in, artifacts out.
+
+One YAML/JSON spec describes an end-to-end pipeline run — target model,
+device, compiler knobs, noisy simulation, ZNE — plus a parameter-sweep
+grid.  :func:`load_spec` validates it, :class:`ExperimentRunner` expands
+and executes it (sharded across the batch executors, resumable from the
+on-disk manifest), and :func:`generate_report` aggregates the artifacts.
+
+>>> from repro.experiments import load_spec, run_experiment, generate_report
+>>> spec = load_spec("examples/experiments/ising_sweep.yaml")  # doctest: +SKIP
+>>> result = run_experiment(spec, "runs/demo")                 # doctest: +SKIP
+>>> print(generate_report("runs/demo").table())                # doctest: +SKIP
+"""
+
+from repro.experiments.report import ExperimentReport, generate_report
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunResult,
+    execute_job,
+    run_experiment,
+)
+from repro.experiments.spec import (
+    DEVICE_CHOICES,
+    ExecutionSpec,
+    ExperimentJob,
+    ExperimentSpec,
+    ModelSpec,
+    SimulationSpec,
+    ZNESpec,
+    expand_sweep,
+    load_spec,
+)
+from repro.experiments.store import ArtifactStore
+
+__all__ = [
+    "DEVICE_CHOICES",
+    "ExperimentSpec",
+    "ExperimentJob",
+    "ModelSpec",
+    "SimulationSpec",
+    "ZNESpec",
+    "ExecutionSpec",
+    "load_spec",
+    "expand_sweep",
+    "ExperimentRunner",
+    "RunResult",
+    "run_experiment",
+    "execute_job",
+    "ArtifactStore",
+    "ExperimentReport",
+    "generate_report",
+]

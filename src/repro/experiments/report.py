@@ -1,0 +1,237 @@
+"""Aggregate experiment artifacts into tables and a summary report.
+
+The report stage is pure post-processing: it reads the manifest and the
+per-job JSON records an :class:`~repro.experiments.runner.ExperimentRunner`
+left in a run directory, builds one table row per sweep point, computes
+aggregate statistics, writes ``report.json`` next to the manifest, and
+renders an aligned text table via :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.reporting import format_table, geometric_mean
+from repro.experiments.store import ArtifactStore
+
+__all__ = ["ExperimentReport", "generate_report"]
+
+
+class ExperimentReport:
+    """The aggregated view of one run directory.
+
+    Attributes
+    ----------
+    payload:
+        The JSON-serializable report (also written to ``report.json``).
+    """
+
+    def __init__(self, payload: Dict, headers: List[str], rows: List[List]):
+        self.payload = payload
+        self._headers = headers
+        self._rows = rows
+
+    def table(self) -> str:
+        """The per-job results as an aligned monospace table."""
+        title = (
+            f"experiment {self.payload['name']} — "
+            f"{self.payload['num_ok']}/{self.payload['num_jobs']} jobs ok"
+        )
+        return format_table(self._headers, self._rows, title=title, precision=4)
+
+    def summary(self) -> str:
+        """One-line outcome plus the headline aggregate metrics."""
+        parts = [
+            f"{self.payload['num_ok']}/{self.payload['num_jobs']} jobs ok"
+        ]
+        aggregates = self.payload.get("aggregates", {})
+        if "mean_relative_error" in aggregates:
+            parts.append(
+                f"mean rel err "
+                f"{100 * aggregates['mean_relative_error']:.3g}%"
+            )
+        if "geomean_compile_seconds" in aggregates:
+            parts.append(
+                f"geomean compile "
+                f"{aggregates['geomean_compile_seconds']:.4g}s"
+            )
+        return ", ".join(parts)
+
+
+def _override_columns(manifest: Dict) -> List[str]:
+    """The sweep axes, in sorted-path order, to use as table columns."""
+    sweep = manifest.get("spec", {}).get("sweep") or {}
+    return sorted(sweep)
+
+
+def _job_row(
+    record: Dict, entry: Dict, axes: List[str]
+) -> Tuple[List, Dict]:
+    """One table row plus the JSON form of a single job record."""
+    compile_section = record.get("compile") or {}
+    observables = record.get("observables") or {}
+    zne = record.get("zne") or {}
+    mitigated = zne.get("mitigated") or {}
+    overrides = entry.get("overrides") or {}
+    row: List = [record.get("job_id", entry.get("job_id"))]
+    row.extend(overrides.get(axis) for axis in axes)
+    status = record.get("status", "missing")
+    relative_error = compile_section.get("relative_error")
+    row.extend(
+        [
+            status,
+            compile_section.get("execution_time_us"),
+            100 * relative_error if relative_error is not None else None,
+            record.get("fidelity"),
+            observables.get("z_avg"),
+            mitigated.get("z_avg"),
+            observables.get("zz_avg"),
+            mitigated.get("zz_avg"),
+        ]
+    )
+    json_entry = {
+        "job_id": record.get("job_id", entry.get("job_id")),
+        "index": record.get("index", entry.get("index")),
+        "status": status,
+        "overrides": overrides,
+        "seconds": record.get("seconds"),
+    }
+    for key in (
+        "compile",
+        "fidelity",
+        "observables",
+        "zne",
+        "digital",
+        "baseline",
+        "error",
+        "error_type",
+    ):
+        if record.get(key) is not None:
+            json_entry[key] = record[key]
+    return row, json_entry
+
+
+def _aggregates(records: List[Dict]) -> Dict[str, float]:
+    """Aggregate statistics over the successfully completed jobs."""
+    ok = [r for r in records if r.get("status") == "ok"]
+    aggregates: Dict[str, float] = {}
+    errors = [
+        r["compile"]["relative_error"]
+        for r in ok
+        if r.get("compile", {}).get("relative_error") is not None
+    ]
+    if errors:
+        aggregates["mean_relative_error"] = sum(errors) / len(errors)
+    times = [
+        r["compile"]["compile_seconds"]
+        for r in ok
+        if r.get("compile", {}).get("compile_seconds")
+    ]
+    if times:
+        aggregates["geomean_compile_seconds"] = geometric_mean(times)
+    exec_times = [
+        r["compile"]["execution_time_us"]
+        for r in ok
+        if r.get("compile", {}).get("execution_time_us") is not None
+    ]
+    if exec_times:
+        aggregates["mean_execution_time_us"] = sum(exec_times) / len(
+            exec_times
+        )
+    fidelities = [
+        r["fidelity"] for r in ok if r.get("fidelity") is not None
+    ]
+    if fidelities:
+        aggregates["mean_fidelity"] = sum(fidelities) / len(fidelities)
+    for metric in ("z_avg", "zz_avg"):
+        raw = [
+            r["observables"][metric]
+            for r in ok
+            if r.get("observables", {}).get(metric) is not None
+        ]
+        if raw:
+            aggregates[f"mean_{metric}"] = sum(raw) / len(raw)
+        mitigated = [
+            r["zne"]["mitigated"][metric]
+            for r in ok
+            if r.get("zne", {}).get("mitigated", {}).get(metric)
+            is not None
+        ]
+        if mitigated:
+            aggregates[f"mean_{metric}_mitigated"] = sum(mitigated) / len(
+                mitigated
+            )
+    return aggregates
+
+
+def generate_report(
+    run_dir: Union[str, Path],
+    write: bool = True,
+) -> ExperimentReport:
+    """Aggregate a run directory into an :class:`ExperimentReport`.
+
+    Parameters
+    ----------
+    run_dir:
+        A directory previously populated by ``repro run`` /
+        :class:`~repro.experiments.runner.ExperimentRunner`.
+    write:
+        Also persist the payload as ``<run_dir>/report.json``.
+
+    Returns
+    -------
+    ExperimentReport
+        Renders the per-job table (:meth:`ExperimentReport.table`) and
+        exposes the JSON payload (:attr:`ExperimentReport.payload`).
+    """
+    store = ArtifactStore(run_dir)
+    manifest = store.read_manifest()
+    entries = manifest.get("jobs", [])
+    axes = _override_columns(manifest)
+
+    rows: List[List] = []
+    job_payloads: List[Dict] = []
+    records: List[Dict] = []
+    statuses: Dict[str, int] = {}
+    for entry in entries:
+        record = store.read_job(entry["job_id"]) or {
+            "job_id": entry["job_id"],
+            "index": entry["index"],
+            "status": "missing",
+        }
+        records.append(record)
+        status = record.get("status", "missing")
+        statuses[status] = statuses.get(status, 0) + 1
+        row, json_entry = _job_row(record, entry, axes)
+        rows.append(row)
+        job_payloads.append(json_entry)
+
+    payload = {
+        "name": manifest.get("name"),
+        "spec_hash": manifest.get("spec_hash"),
+        "num_jobs": len(entries),
+        "num_ok": statuses.get("ok", 0),
+        "statuses": statuses,
+        "sweep_axes": axes,
+        "aggregates": _aggregates(records),
+        "jobs": job_payloads,
+    }
+    headers = (
+        ["job"]
+        + axes
+        + [
+            "status",
+            "T_exec(µs)",
+            "err(%)",
+            "fidelity",
+            "z_avg",
+            "z_avg_zne",
+            "zz_avg",
+            "zz_avg_zne",
+        ]
+    )
+    report = ExperimentReport(payload, headers, rows)
+    if write:
+        store.write_report(payload)
+    return report

@@ -1,0 +1,376 @@
+"""Execute declarative experiments: sweep expansion → jobs → artifacts.
+
+The runner expands a spec's sweep grid into fully-resolved jobs, skips
+every job the run directory already holds a complete artifact for
+(resume), and dispatches the rest through a :mod:`repro.batch` executor.
+Each job runs the whole pipeline for one sweep point — compile (through
+the worker-memoized :func:`repro.batch.compiler_for`), optional fidelity
+verification, noisy Monte-Carlo simulation on the vectorized block
+engine, and ZNE — inside a per-job failure boundary: one infeasible or
+crashing point never sinks the sweep.
+
+Job records are plain JSON dictionaries (the artifact format is the
+API); see ``docs/experiments.md`` for the record schema.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.batch.compiler import (
+    HARD_VERIFY_CAP,
+    compiler_for,
+    verify_fidelity,
+)
+from repro.batch.executors import resolve_executor
+from repro.batch.jobs import BatchJob
+from repro.experiments.spec import (
+    ExperimentJob,
+    ExperimentSpec,
+    expand_sweep,
+)
+from repro.experiments.store import ArtifactStore
+
+__all__ = ["ExperimentRunner", "RunResult", "run_experiment"]
+
+
+def _build_workload(spec: ExperimentSpec, job_id: str):
+    """Build ``(batch_job, time_independent_target, num_qubits)`` for a spec.
+
+    The time-independent target comes back ``None`` for time-dependent
+    models (it only feeds the digital gate-count comparison).
+    """
+    from repro.aais import aais_for_device
+    from repro.hamiltonian import parse_hamiltonian
+    from repro.models import build_model, build_time_dependent_model
+
+    model = spec.model
+    params = dict(model.params)
+    compiler_options = dict(spec.compiler)
+    if model.hamiltonian is not None:
+        target = parse_hamiltonian(model.hamiltonian)
+        num_qubits = max(model.qubits, target.num_qubits())
+        aais = aais_for_device(
+            spec.device, num_qubits, dict(spec.device_options)
+        )
+        job = BatchJob.constant(
+            job_id, target, spec.time, aais, **compiler_options
+        )
+        return job, target, num_qubits
+    if model.is_time_dependent:
+        sweep_target = build_time_dependent_model(
+            model.name, model.qubits, duration=spec.time, **params
+        )
+        num_qubits = model.qubits
+        aais = aais_for_device(
+            spec.device, num_qubits, dict(spec.device_options)
+        )
+        job = BatchJob.time_dependent(
+            job_id, sweep_target, spec.segments, aais, **compiler_options
+        )
+        return job, None, num_qubits
+    target = build_model(model.name, model.qubits, **params)
+    num_qubits = max(model.qubits, target.num_qubits())
+    aais = aais_for_device(spec.device, num_qubits, dict(spec.device_options))
+    job = BatchJob.constant(
+        job_id, target, spec.time, aais, **compiler_options
+    )
+    return job, target, num_qubits
+
+
+def _compile_section(result) -> Dict[str, object]:
+    """The JSON-serializable summary of one compilation result."""
+    section: Dict[str, object] = {
+        "success": bool(result.success),
+        "summary": result.summary(),
+        "compile_seconds": result.compile_seconds,
+    }
+    if result.success:
+        section["execution_time_us"] = result.execution_time
+        section["relative_error"] = result.relative_error
+        section["num_segments"] = (
+            result.schedule.num_segments if result.schedule else 0
+        )
+    else:
+        section["message"] = result.message
+    if result.warnings:
+        section["warnings"] = list(result.warnings)
+    return section
+
+
+def _simulation_sections(
+    spec: ExperimentSpec, schedule, seed: int
+) -> Dict[str, object]:
+    """Run the noisy-simulation (+ optional ZNE) stages of one job."""
+    from repro.sim import NoisySimulator, aquila_noise
+
+    sim = spec.simulation
+    noise = aquila_noise(**dict(sim.noise)) if sim.noise else None
+    simulator = NoisySimulator(
+        noise=noise,
+        noise_samples=sim.noise_samples,
+        seed=seed,
+        vectorized=sim.vectorized,
+    )
+    sections: Dict[str, object] = {}
+    if spec.zne is not None:
+        from repro.mitigation import zne_observables
+
+        zne = zne_observables(
+            schedule,
+            simulator,
+            factors=spec.zne.factors,
+            shots=sim.shots,
+            periodic=sim.periodic,
+        )
+        sections["observables"] = {
+            key: values[0] for key, values in zne.raw.items()
+        }
+        sections["zne"] = {
+            "factors": list(zne.factors),
+            "raw": {key: list(values) for key, values in zne.raw.items()},
+            "mitigated": zne.mitigated,
+        }
+    else:
+        sections["observables"] = simulator.observables(
+            schedule, shots=sim.shots, periodic=sim.periodic
+        )
+    return sections
+
+
+def _digital_section(spec: ExperimentSpec, target) -> Dict[str, object]:
+    """Trotter step/gate counts for the digital comparison stage."""
+    from repro.digital import gate_counts, trotter_steps_required
+
+    steps = trotter_steps_required(target, spec.time, spec.digital.epsilon)
+    counts = gate_counts(target, steps)
+    return {
+        "epsilon": spec.digital.epsilon,
+        "trotter_steps": steps,
+        "two_qubit_gates": counts.two_qubit,
+        "total_gates": counts.total,
+    }
+
+
+def _baseline_section(spec: ExperimentSpec, job: BatchJob) -> Dict[str, object]:
+    """Compile the same workload with the SimuQ-style baseline."""
+    from repro.baseline import SimuQStyleCompiler
+
+    baseline = SimuQStyleCompiler(job.aais, seed=spec.baseline.seed)
+    result = baseline.compile_piecewise(job.target)
+    return _compile_section(result)
+
+
+def execute_job(
+    spec: ExperimentSpec,
+    job_id: str = "job0000-adhoc",
+    index: int = 0,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Run every stage of one resolved spec and return its job record.
+
+    This is the unit of work the executors distribute; any exception is
+    captured into a ``status="error"`` record rather than propagated.
+    """
+    tick = time.perf_counter()
+    record: Dict[str, object] = {
+        "job_id": job_id,
+        "index": index,
+        "seed": seed,
+        "spec_hash": spec.spec_hash,
+    }
+    try:
+        job, flat_target, num_qubits = _build_workload(spec, job_id)
+        record["num_qubits"] = num_qubits
+        if spec.digital is not None and flat_target is not None:
+            record["digital"] = _digital_section(spec, flat_target)
+        if spec.baseline is not None:
+            record["baseline"] = _baseline_section(spec, job)
+        result = compiler_for(job).compile_piecewise(job.target)
+        record["compile"] = _compile_section(result)
+        if not result.success or result.schedule is None:
+            record["status"] = "compile_failed"
+            record["seconds"] = time.perf_counter() - tick
+            return record
+        # Same guard and memoized helper as batch --verify: the hard cap
+        # bounds state-vector cost no matter what the spec asks for.
+        verify_cap = min(spec.verify_max_qubits, HARD_VERIFY_CAP)
+        if spec.verify and num_qubits <= verify_cap:
+            record["fidelity"] = verify_fidelity(job, result)
+        if spec.simulation is not None:
+            record.update(
+                _simulation_sections(spec, result.schedule, seed)
+            )
+        record["status"] = "ok"
+    except Exception as error:  # per-job isolation is the contract
+        record["status"] = "error"
+        record["error"] = str(error)
+        record["error_type"] = type(error).__name__
+    record["seconds"] = time.perf_counter() - tick
+    return record
+
+
+def _execute_payload(
+    payload: Tuple[int, str, Dict, int],
+) -> Dict[str, object]:
+    """Module-level worker so the process executor can pickle it."""
+    index, job_id, spec_dict, seed = payload
+    spec = ExperimentSpec.from_dict(spec_dict)
+    return execute_job(spec, job_id=job_id, index=index, seed=seed)
+
+
+@dataclass
+class RunResult:
+    """What one :meth:`ExperimentRunner.run` call did.
+
+    Attributes
+    ----------
+    run_dir:
+        The artifact directory of this run.
+    records:
+        One job record per sweep point, in expansion order (freshly
+        executed and resumed ones alike).
+    executed / skipped:
+        How many jobs ran now vs. were resumed from disk.
+    """
+
+    run_dir: Path
+    records: List[Dict] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+
+    @property
+    def num_jobs(self) -> int:
+        """Total number of sweep points."""
+        return len(self.records)
+
+    @property
+    def num_ok(self) -> int:
+        """Jobs that completed every stage successfully."""
+        return sum(1 for r in self.records if r.get("status") == "ok")
+
+    @property
+    def num_failed(self) -> int:
+        """Jobs that failed to compile or raised."""
+        return self.num_jobs - self.num_ok
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every sweep point succeeded."""
+        return self.num_failed == 0
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        return (
+            f"{self.num_ok}/{self.num_jobs} jobs ok "
+            f"({self.executed} executed, {self.skipped} resumed) "
+            f"in {self.run_dir}"
+        )
+
+
+class ExperimentRunner:
+    """Expand, execute, and persist a declarative experiment.
+
+    Parameters
+    ----------
+    executor:
+        Override the spec's ``execution.executor`` (name or instance).
+    workers:
+        Override the spec's ``execution.workers``.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
+        self.executor = executor
+        self.workers = workers
+
+    def plan(self, spec: ExperimentSpec) -> List[ExperimentJob]:
+        """The deterministic job list the sweep grid expands into."""
+        return expand_sweep(spec)
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        run_dir: Union[str, Path],
+        force: bool = False,
+    ) -> RunResult:
+        """Execute ``spec``, resuming from ``run_dir`` when possible.
+
+        Parameters
+        ----------
+        spec:
+            The experiment to execute.
+        run_dir:
+            Artifact directory; an existing directory must hold the same
+            spec (by content hash) and is resumed — jobs with complete
+            artifacts are skipped, jobs that previously raised are
+            retried.
+        force:
+            Wipe a mismatched or partial directory and recompute
+            everything.
+
+        Returns
+        -------
+        RunResult
+            All job records in expansion order plus execute/skip counts.
+        """
+        jobs = self.plan(spec)
+        store = ArtifactStore(run_dir)
+        store.initialize(spec, jobs, force=force)
+
+        pending = [
+            job
+            for job in jobs
+            if force or not store.is_complete(job.job_id)
+        ]
+        executor = resolve_executor(
+            self.executor
+            if self.executor is not None
+            else spec.execution.executor,
+            self.workers
+            if self.workers is not None
+            else spec.execution.workers,
+        )
+        payloads = [
+            (job.index, job.job_id, job.spec.to_dict(), job.seed)
+            for job in pending
+        ]
+        fresh = executor.run(_execute_payload, payloads)
+        for record in fresh:
+            store.write_job(record)
+
+        by_id = {record["job_id"]: record for record in fresh}
+        records = []
+        for job in jobs:
+            record = by_id.get(job.job_id) or store.read_job(job.job_id)
+            records.append(
+                record
+                if record is not None
+                else {"job_id": job.job_id, "index": job.index,
+                      "status": "error", "error": "missing artifact"}
+            )
+        return RunResult(
+            run_dir=Path(run_dir),
+            records=records,
+            executed=len(fresh),
+            skipped=len(jobs) - len(fresh),
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    run_dir: Union[str, Path],
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
+    force: bool = False,
+) -> RunResult:
+    """Convenience wrapper: run ``spec`` into ``run_dir`` in one call."""
+    return ExperimentRunner(executor=executor, workers=workers).run(
+        spec, run_dir, force=force
+    )

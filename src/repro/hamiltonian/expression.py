@@ -132,6 +132,7 @@ class Hamiltonian:
         return sum(abs(c) for c in self._terms.values())
 
     def max_abs_coefficient(self) -> float:
+        """The largest absolute term coefficient (0.0 when empty)."""
         return max((abs(c) for c in self._terms.values()), default=0.0)
 
     def canonical_key(

@@ -69,9 +69,11 @@ class PiecewiseHamiltonian:
         return len(self._segments)
 
     def total_duration(self) -> float:
+        """The summed duration of all segments."""
         return sum(s.duration for s in self._segments)
 
     def num_qubits(self) -> int:
+        """The widest register any segment addresses."""
         return max(s.hamiltonian.num_qubits() for s in self._segments)
 
     def boundaries(self) -> List[float]:

@@ -3,7 +3,14 @@
 from repro.models.ising import ising_chain, ising_cycle, ising_cycle_plus
 from repro.models.lattice import grid_edges, ising_grid
 from repro.models.mis import mis_chain, mis_chain_at
-from repro.models.registry import MODEL_BUILDERS, build_model, model_names
+from repro.models.registry import (
+    MODEL_BUILDERS,
+    TIME_DEPENDENT_BUILDERS,
+    build_model,
+    build_time_dependent_model,
+    model_names,
+    time_dependent_model_names,
+)
 from repro.models.spin_models import heisenberg_chain, kitaev_chain, pxp_chain
 
 __all__ = [
@@ -18,6 +25,9 @@ __all__ = [
     "grid_edges",
     "mis_chain_at",
     "MODEL_BUILDERS",
+    "TIME_DEPENDENT_BUILDERS",
     "build_model",
+    "build_time_dependent_model",
     "model_names",
+    "time_dependent_model_names",
 ]

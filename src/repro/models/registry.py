@@ -6,10 +6,19 @@ from typing import Callable, Dict, List
 
 from repro.errors import HamiltonianError
 from repro.hamiltonian.expression import Hamiltonian
+from repro.hamiltonian.time_dependent import TimeDependentHamiltonian
 from repro.models.ising import ising_chain, ising_cycle, ising_cycle_plus
+from repro.models.mis import mis_chain
 from repro.models.spin_models import heisenberg_chain, kitaev_chain, pxp_chain
 
-__all__ = ["MODEL_BUILDERS", "build_model", "model_names"]
+__all__ = [
+    "MODEL_BUILDERS",
+    "TIME_DEPENDENT_BUILDERS",
+    "build_model",
+    "build_time_dependent_model",
+    "model_names",
+    "time_dependent_model_names",
+]
 
 #: Time-independent Table-2 models, keyed by their benchmark name.
 MODEL_BUILDERS: Dict[str, Callable[..., Hamiltonian]] = {
@@ -21,18 +30,43 @@ MODEL_BUILDERS: Dict[str, Callable[..., Hamiltonian]] = {
     "pxp": pxp_chain,
 }
 
+#: Time-dependent sweep models; builders take ``(n, duration=..., **params)``
+#: and return a :class:`TimeDependentHamiltonian` to be discretized.
+TIME_DEPENDENT_BUILDERS: Dict[str, Callable[..., TimeDependentHamiltonian]] = {
+    "mis_chain": mis_chain,
+}
+
 
 def model_names() -> List[str]:
-    """Registered model names, sorted."""
+    """Registered time-independent model names, sorted."""
     return sorted(MODEL_BUILDERS)
 
 
+def time_dependent_model_names() -> List[str]:
+    """Registered time-dependent model names, sorted."""
+    return sorted(TIME_DEPENDENT_BUILDERS)
+
+
 def build_model(name: str, n: int, **params) -> Hamiltonian:
-    """Instantiate a registered model by name."""
+    """Instantiate a registered time-independent model by name."""
     try:
         builder = MODEL_BUILDERS[name]
     except KeyError:
         raise HamiltonianError(
             f"unknown model {name!r}; known: {model_names()}"
+        ) from None
+    return builder(n, **params)
+
+
+def build_time_dependent_model(
+    name: str, n: int, **params
+) -> TimeDependentHamiltonian:
+    """Instantiate a registered time-dependent model by name."""
+    try:
+        builder = TIME_DEPENDENT_BUILDERS[name]
+    except KeyError:
+        raise HamiltonianError(
+            f"unknown time-dependent model {name!r}; "
+            f"known: {time_dependent_model_names()}"
         ) from None
     return builder(n, **params)

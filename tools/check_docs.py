@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Documentation health checks (run by the CI ``docs`` job).
+
+Three passes, all stdlib-only:
+
+1. **Links** — every relative markdown link target in README.md and
+   docs/*.md must exist on disk.
+2. **Snippets** — every ``repro run <path>`` / ``python <path>`` file
+   reference inside fenced code blocks of those documents must exist,
+   and every spec under examples/experiments/ must be mentioned by at
+   least one document.
+3. **Docstrings** — the documented public API surface
+   (repro/__init__.py, sim/__init__.py, batch/compiler.py,
+   experiments/*) must keep module docstrings and docstrings on every
+   public class/function (AST-based, mirrors the ruff D gate).
+
+Exit status is the number of problems found.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+DOCSTRING_SURFACE = [
+    REPO / "src/repro/__init__.py",
+    REPO / "src/repro/sim/__init__.py",
+    REPO / "src/repro/batch/compiler.py",
+    *sorted((REPO / "src/repro/experiments").glob("*.py")),
+]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
+_SNIPPET_PATH = re.compile(
+    r"(?:repro run|python)\s+((?:examples|benchmarks|tools)/[\w./-]+)"
+)
+
+
+def check_links(problems: list) -> None:
+    """Pass 1: relative markdown link targets must exist."""
+    for doc in DOCS:
+        text = doc.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.is_relative_to(REPO):
+                continue  # repo-external (e.g. the GitHub badge URL)
+            if not resolved.exists():
+                problems.append(f"{doc.relative_to(REPO)}: broken link {target}")
+
+
+def check_snippets(problems: list) -> None:
+    """Pass 2: file paths referenced by command snippets must exist."""
+    corpus = ""
+    for doc in DOCS:
+        text = doc.read_text(encoding="utf-8")
+        corpus += text
+        for match in _SNIPPET_PATH.finditer(text):
+            target = match.group(1)
+            if not (REPO / target).exists():
+                problems.append(
+                    f"{doc.relative_to(REPO)}: snippet references missing "
+                    f"file {target}"
+                )
+    for spec in sorted((REPO / "examples/experiments").glob("*.yaml")):
+        rel = str(spec.relative_to(REPO))
+        if rel not in corpus:
+            problems.append(f"{rel}: example spec not mentioned in any doc")
+
+
+def _missing_docstrings(path: Path) -> list:
+    """Public defs in ``path`` lacking docstrings (module included)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing = []
+    if not ast.get_docstring(tree):
+        missing.append("(module)")
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not ast.get_docstring(node):
+            missing.append(f"{node.name} (line {node.lineno})")
+    return missing
+
+
+def check_docstrings(problems: list) -> None:
+    """Pass 3: the documented API surface keeps its docstrings."""
+    for path in DOCSTRING_SURFACE:
+        for item in _missing_docstrings(path):
+            problems.append(
+                f"{path.relative_to(REPO)}: missing docstring on {item}"
+            )
+
+
+def main() -> int:
+    """Run all passes; print problems; return their count."""
+    problems: list = []
+    check_links(problems)
+    check_snippets(problems)
+    check_docstrings(problems)
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"docs-check: {len(DOCS)} documents, "
+            f"{len(DOCSTRING_SURFACE)} API modules — all clean"
+        )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
