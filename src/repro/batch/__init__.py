@@ -11,6 +11,7 @@ from repro.batch.compiler import (
     HARD_VERIFY_CAP,
     BatchCompiler,
     compiler_for,
+    pass_cache_stats,
     verify_fidelity,
 )
 from repro.batch.executors import (
@@ -27,6 +28,7 @@ __all__ = [
     "BatchCompiler",
     "HARD_VERIFY_CAP",
     "compiler_for",
+    "pass_cache_stats",
     "verify_fidelity",
     "BatchJob",
     "BatchResult",

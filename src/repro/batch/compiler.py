@@ -37,6 +37,7 @@ __all__ = [
     "BatchCompiler",
     "HARD_VERIFY_CAP",
     "compiler_for",
+    "pass_cache_stats",
     "reset_worker_compilers",
     "verify_fidelity",
 ]
@@ -96,6 +97,38 @@ def compiler_for(job: BatchJob) -> QTurboCompiler:
         while len(_WORKER_COMPILERS) > _WORKER_COMPILER_CAP:
             _WORKER_COMPILERS.popitem(last=False)
     return compiler
+
+
+def pass_cache_stats() -> dict:
+    """Aggregate pass-level cache counters across the worker compilers.
+
+    The batch engine memoizes one :class:`QTurboCompiler` per distinct
+    ``(AAIS, options)``; each compiler owns the structural caches its
+    pipeline passes read — the ``build_linear_system`` pass's shared
+    linear-system LRU and the ``partition`` pass's memo.  This sums
+    their hit/miss/eviction counters over every live compiler in this
+    process (worker processes of the ``process`` executor keep their
+    own memos, which are not visible here).
+    """
+    with _WORKER_COMPILERS_LOCK:
+        compilers = list(_WORKER_COMPILERS.values())
+    totals = {
+        "compilers": len(compilers),
+        "linear_system": {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "capacity": 0,
+            "evictions": 0,
+        },
+        "partition": {"hits": 0, "misses": 0},
+    }
+    for compiler in compilers:
+        for cache_name, counters in compiler.pass_cache_stats().items():
+            bucket = totals[cache_name]
+            for key, value in counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+    return totals
 
 
 #: Worker-side memo of ideal reference states.  Repeated-target batches

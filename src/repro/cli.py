@@ -4,7 +4,10 @@ Commands
 --------
 ``compile``
     Compile a registered model (or a textual Hamiltonian) onto a device
-    and print the schedule plus metrics as JSON.
+    and print the schedule plus metrics as JSON.  ``--explain`` prints
+    the per-pass trace table (wall time, cache hits, diagnostics);
+    ``--enable-pass``/``--disable-pass`` toggle optional pipeline
+    passes such as ``term_fusion`` and ``schedule_compaction``.
 ``models``
     List the registered benchmark models.
 ``compare``
@@ -18,9 +21,10 @@ Commands
     Monte-Carlo noisy simulator (optionally with ZNE mitigation),
     printing observables and simulation-cache statistics.
 ``cache-stats``
-    Print the operator and simulation fast-path cache statistics of
-    this process as JSON (most informative at the end of a workload —
-    ``simulate``/``batch --verify`` include the same report inline).
+    Print the operator, simulation fast-path, and compiler pass-level
+    cache statistics of this process as JSON (most informative at the
+    end of a workload — ``simulate``/``batch --verify`` include the
+    same report inline).
 ``run``
     Execute a declarative experiment spec (YAML/JSON) end to end —
     sweep expansion, batched compile + noisy simulation + ZNE, and a
@@ -61,6 +65,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-refine",
         action="store_true",
         help="disable the Section-6.2 refinement pass",
+    )
+    compile_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-pass trace table (time, cache, diagnostics)",
+    )
+    compile_cmd.add_argument(
+        "--enable-pass",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="enable an optional pipeline pass (term_fusion, "
+        "schedule_compaction); repeatable",
+    )
+    compile_cmd.add_argument(
+        "--disable-pass",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="disable a pipeline pass (e.g. refinement); repeatable",
     )
     compile_cmd.add_argument(
         "--output",
@@ -240,9 +264,18 @@ def _build_aais(args: argparse.Namespace, target: Hamiltonian):
 
 
 def _command_compile(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import trace_table
+
     target = _build_target(args)
     aais = _build_aais(args, target)
-    compiler = QTurboCompiler(aais, refine=not args.no_refine)
+    passes = {}
+    if args.enable_pass:
+        passes["enable"] = list(args.enable_pass)
+    if args.disable_pass:
+        passes["disable"] = list(args.disable_pass)
+    compiler = QTurboCompiler(
+        aais, refine=not args.no_refine, passes=passes or None
+    )
     result = compiler.compile(target, args.time)
     if args.output == "json":
         payload = {
@@ -253,9 +286,14 @@ def _command_compile(args: argparse.Namespace) -> int:
             "schedule": result.schedule.to_dict() if result.schedule else None,
             "warnings": result.warnings,
         }
+        if args.explain:
+            payload["passes"] = result.pass_trace
+            payload["stage_timings"] = result.stage_timings.as_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.summary())
+        if args.explain:
+            print(trace_table(result.pass_trace))
         for warning in result.warnings:
             print(f"warning: {warning}")
     return 0 if result.success else 1
@@ -501,11 +539,14 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_cache_stats(_args: argparse.Namespace) -> int:
+    from repro.batch.compiler import pass_cache_stats
+
     print(
         json.dumps(
             {
                 "operator_cache": operator_cache_stats(),
                 "simulation_cache": simulation_cache_stats(),
+                "compiler_cache": pass_cache_stats(),
             },
             indent=2,
             sort_keys=True,

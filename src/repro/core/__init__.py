@@ -15,6 +15,19 @@ from repro.core.local_solvers import (
 )
 from repro.core.mapping import apply_mapping, find_mapping, interaction_graph
 from repro.core.partition import LocalComponent, UnionFind, partition_channels
+from repro.core.pipeline import (
+    DEFAULT_PASSES,
+    OPTIONAL_PASSES,
+    PASS_REGISTRY,
+    CompilationUnit,
+    CompilerPass,
+    PassManager,
+    PassRecord,
+    PipelineConfig,
+    build_pipeline,
+    normalize_passes_config,
+    trace_table,
+)
 from repro.core.refinement import RefinementResult, refine_dynamic_alphas
 from repro.core.result import CompilationResult, SegmentSolution, StageTimings
 from repro.core.time_optimizer import (
@@ -24,6 +37,17 @@ from repro.core.time_optimizer import (
 
 __all__ = [
     "QTurboCompiler",
+    "CompilationUnit",
+    "PassRecord",
+    "CompilerPass",
+    "PassManager",
+    "PipelineConfig",
+    "PASS_REGISTRY",
+    "DEFAULT_PASSES",
+    "OPTIONAL_PASSES",
+    "build_pipeline",
+    "normalize_passes_config",
+    "trace_table",
     "AdaptiveResult",
     "adaptive_discretize",
     "CompilationResult",

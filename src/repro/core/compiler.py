@@ -1,6 +1,6 @@
-"""The QTurbo compiler pipeline (Sections 4–6).
+"""The QTurbo compiler façade over the pass pipeline (Sections 4–6).
 
-Stages, per Figure 1:
+Compilation stages, per Figure 1:
 
 1. **Global linear system** (Section 4.1) — solve for the synthesized
    variables α_c = expression_c × T_sim.
@@ -13,6 +13,13 @@ Stages, per Figure 1:
 5. **Refinement** (Section 6.2) — re-solve the dynamic synthesized
    variables to absorb the fixed-channel residual (L1 minimization).
 
+Each stage is a :class:`~repro.core.pipeline.manager.CompilerPass` (see
+:mod:`repro.core.pipeline.passes`); :class:`QTurboCompiler` owns the
+cross-compile structural caches, builds the pipeline its configuration
+selects, and wraps the pipeline's output into a
+:class:`~repro.core.result.CompilationResult` with per-pass trace and
+stage timings.
+
 Time-dependent targets (Section 5.3) compile segment by segment with the
 runtime-fixed variables shared: the segment requiring the *smallest*
 fixed amplitudes anchors the position solve, and every other segment's
@@ -21,36 +28,43 @@ evolution time stretches to compensate.
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.aais.base import AAIS
-from repro.core.error_bounds import ErrorBudget
-from repro.core.linear_system import GlobalLinearSystem, LinearSolution
-from repro.core.local_solvers import (
-    LocalSolution,
-    LocalSolverStrategy,
-    select_strategy,
-)
+from repro.core.linear_system import GlobalLinearSystem
+from repro.core.local_solvers import LocalSolverStrategy, select_strategy
 from repro.core.partition import partition_channels
-from repro.core.refinement import refine_dynamic_alphas
-from repro.core.result import CompilationResult, SegmentSolution, StageTimings
-from repro.core.time_optimizer import MIN_TIME_FLOOR, optimize_evolution_time
+from repro.core.pipeline.manager import PassManager
+from repro.core.pipeline.registry import (
+    build_pipeline,
+    normalize_passes_config,
+)
+from repro.core.pipeline.unit import CompilationUnit
+from repro.core.result import CompilationResult, StageTimings
+from repro.core.time_optimizer import MIN_TIME_FLOOR
 from repro.errors import CompilationError, InfeasibleError
 from repro.hamiltonian.expression import Hamiltonian
-from repro.hamiltonian.pauli import PauliString
 from repro.hamiltonian.time_dependent import (
     PiecewiseHamiltonian,
     TimeDependentHamiltonian,
 )
-from repro.pulse.schedule import PulseSchedule, PulseSegment
 
 __all__ = ["QTurboCompiler"]
 
-_ZERO = 1e-12
+#: Stage-timing bucket each pass's wall time is charged to.
+_PASS_STAGE = {
+    "term_fusion": "linear",
+    "build_linear_system": "linear",
+    "partition": "partition",
+    "time_optimization": "time_optimization",
+    "fixed_solve": "local_solve",
+    "refinement": "local_solve",  # minus the LP time, charged to refinement
+    "schedule_compaction": "emit",
+    "emit_schedule": "emit",
+}
 
 
 class QTurboCompiler:
@@ -74,12 +88,19 @@ class QTurboCompiler:
         least-squares fallback instead of the closed-form strategies —
         an ablation knob for measuring what the analytic solvers buy.
     system_cache_size:
-        Number of :class:`GlobalLinearSystem` instances (one per distinct
-        target term structure) kept across :meth:`compile` calls.  Repeat
+        LRU capacity of the shared linear-system cache: the number of
+        :class:`GlobalLinearSystem` instances (one per distinct target
+        term structure) kept across :meth:`compile` calls.  Repeat
         compilations of structurally identical targets — the common case
-        in batch workloads — then reuse the assembled matrix and its
-        cached factorization instead of rebuilding them.  Set to 0 to
-        disable.
+        in batch workloads — reuse the assembled matrix and its cached
+        factorization; least-recently-used systems are evicted beyond
+        the cap (see :meth:`system_cache_stats`).  Set to 0 to disable.
+    passes:
+        Pipeline configuration: None for the default pipeline, a
+        mapping with ``enable``/``disable``/``order`` lists of pass
+        names (see :data:`repro.core.pipeline.PASS_REGISTRY`), the
+        hashable pair form of such a mapping, or a prebuilt
+        :class:`~repro.core.pipeline.manager.PassManager`.
     """
 
     def __init__(
@@ -91,6 +112,7 @@ class QTurboCompiler:
         max_feasibility_iters: int = 25,
         use_analytic_solvers: bool = True,
         system_cache_size: int = 32,
+        passes=None,
     ):
         if feasibility_growth <= 1.0:
             raise CompilationError("feasibility_growth must exceed 1")
@@ -101,20 +123,36 @@ class QTurboCompiler:
         self.max_feasibility_iters = int(max_feasibility_iters)
         self.use_analytic_solvers = bool(use_analytic_solvers)
         self.system_cache_size = int(system_cache_size)
+        if isinstance(passes, PassManager):
+            self.pipeline_config = None
+            self._pass_manager = passes
+        else:
+            self.pipeline_config = normalize_passes_config(passes)
+            self._pass_manager = build_pipeline(
+                self.pipeline_config, refine=self.refine
+            )
         self._system_cache: "OrderedDict[tuple, GlobalLinearSystem]" = (
             OrderedDict()
         )
         self._system_cache_lock = threading.Lock()
         self._system_cache_hits = 0
         self._system_cache_misses = 0
+        self._system_cache_evictions = 0
         # Channels never change for a compiler, so the partition and the
         # per-component solver strategies are computed once, lazily.
         self._partition: "List | None" = None
         self._strategies: "List[LocalSolverStrategy] | None" = None
+        self._partition_hits = 0
+        self._partition_misses = 0
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def pass_names(self) -> List[str]:
+        """The configured pipeline's pass names, in run order."""
+        return self._pass_manager.pass_names
+
     def compile(
         self, target: Hamiltonian, t_target: float
     ) -> CompilationResult:
@@ -136,245 +174,119 @@ class QTurboCompiler:
     def compile_piecewise(
         self, target: PiecewiseHamiltonian
     ) -> CompilationResult:
-        """Compile a piecewise-constant target (the general entry point)."""
+        """Compile a piecewise-constant target (the general entry point).
+
+        Runs the configured pass pipeline over a fresh
+        :class:`~repro.core.pipeline.unit.CompilationUnit`; an
+        :class:`~repro.errors.InfeasibleError` raised by any pass
+        becomes an unsuccessful result carrying the partial pass trace.
+        """
         start = time.perf_counter()
-        timings = StageTimings()
+        unit = CompilationUnit(target=target, aais=self.aais)
         try:
-            result = self._compile(target, timings)
+            unit = self._pass_manager.run(unit, self)
+            result = unit.result
+            if result is None:
+                raise CompilationError(
+                    "pipeline finished without emitting a result — "
+                    "does it end with the 'emit_schedule' pass?"
+                )
         except InfeasibleError as error:
             result = CompilationResult(success=False, message=str(error))
         result.compile_seconds = time.perf_counter() - start
-        timings.total = result.compile_seconds
-        result.stage_timings = timings
+        result.pass_trace = unit.trace()
+        result.stage_timings = self._stage_timings(unit)
+        result.stage_timings.total = result.compile_seconds
         return result
 
     # ------------------------------------------------------------------
-    # Pipeline
+    # Structural caches (the pass-level cache layer)
     # ------------------------------------------------------------------
-    def _compile(
-        self, target: PiecewiseHamiltonian, timings: StageTimings
-    ) -> CompilationResult:
-        self._check_target(target)
-        channels = self.aais.channels
-
-        # Stage 1: global linear solves (one per segment, shared matrix).
-        tick = time.perf_counter()
-        extra_terms: List[PauliString] = []
-        for segment in target.segments:
-            extra_terms.extend(segment.hamiltonian.terms)
-        system = self._shared_system(extra_terms)
-        b_targets = [
-            {
-                term: coeff * segment.duration
-                for term, coeff in segment.hamiltonian.terms.items()
-                if not term.is_identity
-            }
-            for segment in target.segments
-        ]
-        linear_solutions: List[LinearSolution] = [
-            system.solve(b) for b in b_targets
-        ]
-        timings.linear = time.perf_counter() - tick
-
-        warnings: List[str] = []
-        for solution in linear_solutions:
-            for term in solution.unreachable_terms:
-                message = f"target term {term} is unreachable on this AAIS"
-                if message not in warnings:
-                    warnings.append(message)
-
-        # Stage 2: partition into localized mixed systems.
-        tick = time.perf_counter()
-        components, strategies = self._shared_partition(channels)
-        fixed_strategies = [
-            s for s in strategies if s.component.is_fixed
-        ]
-        dynamic_strategies = [
-            s for s in strategies if s.component.is_dynamic
-        ]
-        timings.partition = time.perf_counter() - tick
-
-        # Stage 3: per-segment bottleneck evolution times.
-        tick = time.perf_counter()
-        t_dynamic = [
-            self._bottleneck_time(dynamic_strategies, alphas.alphas)
-            for alphas in linear_solutions
-        ]
-        t_all = [
-            max(
-                t_dyn,
-                self._bottleneck_time(fixed_strategies, sol.alphas),
-            )
-            for t_dyn, sol in zip(t_dynamic, linear_solutions)
-        ]
-        timings.time_optimization = time.perf_counter() - tick
-
-        # Stage 4: runtime-fixed solve, shared across segments.
-        tick = time.perf_counter()
-        fixed_values: Dict[str, float] = {}
-        fixed_solutions: Dict[int, LocalSolution] = {}
-        feasibility_iterations = 0
-        if fixed_strategies:
-            anchor = self._anchor_segment(
-                fixed_strategies, linear_solutions, t_all
-            )
-            (
-                fixed_values,
-                fixed_solutions,
-                feasibility_iterations,
-                fixed_warnings,
-            ) = self._solve_fixed(
-                fixed_strategies, linear_solutions[anchor].alphas, t_all[anchor]
-            )
-            warnings.extend(fixed_warnings)
-        timings.local_solve = time.perf_counter() - tick
-
-        # Stage 4b: per-segment final times and dynamic solves.
-        tick = time.perf_counter()
-        segments: List[SegmentSolution] = []
-        pulse_segments: List[PulseSegment] = []
-        eps2_total = 0.0
-        eps1_total = 0.0
-        refinement_applied = False
-        for index, segment in enumerate(target.segments):
-            alphas = dict(linear_solutions[index].alphas)
-            t_seg = self._segment_time(
-                fixed_strategies,
-                fixed_solutions,
-                alphas,
-                t_dynamic[index],
-            )
-            # Achieved fixed synthesized values at this segment's time.
-            for strategy_index, strategy in enumerate(fixed_strategies):
-                solution = fixed_solutions[strategy_index]
-                for name, expr in solution.achieved_expressions.items():
-                    alphas[name] = expr * t_seg
-
-            if self.refine and fixed_strategies and dynamic_strategies:
-                refine_tick = time.perf_counter()
-                dynamic_channels = [
-                    c
-                    for s in dynamic_strategies
-                    for c in s.component.channels
-                ]
-                refined = refine_dynamic_alphas(
-                    system,
-                    b_targets[index],
-                    alphas,
-                    dynamic_channels,
-                    t_seg,
-                )
-                timings.refinement += time.perf_counter() - refine_tick
-                if refined.applied:
-                    alphas = refined.alphas
-                    refinement_applied = True
-
-            dynamic_values: Dict[str, float] = {}
-            eps2_segment = 0.0
-            for strategy in dynamic_strategies:
-                solution = strategy.solve(alphas, t_seg)
-                dynamic_values.update(solution.values)
-                eps2_segment += solution.alpha_residual_l1(alphas, t_seg)
-
-            values = dict(fixed_values)
-            values.update(dynamic_values)
-            achieved = {
-                channel.name: channel.evaluate(values) * t_seg
-                for channel in channels
-            }
-            # Fixed channels' targets are their achieved values (their
-            # mismatch is already part of the refined linear residual).
-            eps1_total += self._linear_residual(
-                system, alphas, b_targets[index]
-            )
-            eps2_total += eps2_segment
-
-            segments.append(
-                SegmentSolution(
-                    duration=t_seg,
-                    values=values,
-                    alpha_targets=alphas,
-                    achieved_alphas=achieved,
-                    b_target=b_targets[index],
-                    b_sim=system.achieved_b(achieved),
-                )
-            )
-            pulse_segments.append(
-                PulseSegment(duration=t_seg, dynamic_values=dynamic_values)
-            )
-        timings.local_solve += time.perf_counter() - tick - timings.refinement
-
-        schedule = PulseSchedule(
-            self.aais,
-            fixed_values=fixed_values,
-            segments=pulse_segments,
-        )
-        warnings.extend(schedule.validate())
-
-        budget = ErrorBudget(
-            matrix_l1_norm=system.matrix_l1_norm(),
-            linear_residual=eps1_total,
-            local_residuals=[eps2_total],
-        )
-        return CompilationResult(
-            success=True,
-            message="ok",
-            segments=segments,
-            schedule=schedule,
-            num_components=len(components),
-            error_budget=budget,
-            refinement_applied=refinement_applied,
-            feasibility_iterations=feasibility_iterations,
-            warnings=warnings,
-        )
-
-    # ------------------------------------------------------------------
-    # Structural caches
-    # ------------------------------------------------------------------
-    def _shared_system(
-        self, extra_terms: Sequence[PauliString]
-    ) -> GlobalLinearSystem:
+    def shared_system(
+        self, key: tuple, channels, fusion_key=None
+    ) -> Tuple[GlobalLinearSystem, bool]:
         """The global linear system for a target term structure.
 
-        Keyed on the deduplicated, sorted term set: every target whose
-        segments touch the same Pauli terms shares one system — and with
-        it the assembled matrix and its cached factorization.
+        Keyed on the deduplicated, sorted term set plus the active
+        fusion fingerprint: every target whose segments touch the same
+        (fused) Pauli terms shares one system — and with it the
+        assembled matrix and its cached factorization.
+
+        Returns
+        -------
+        tuple
+            ``(system, cache_hit)``.
         """
-        key = tuple(sorted({t for t in extra_terms if not t.is_identity}))
+        cache_key = (key, fusion_key)
         if self.system_cache_size <= 0:
-            return GlobalLinearSystem(self.aais.channels, extra_terms=key)
+            return GlobalLinearSystem(channels, extra_terms=key), False
         with self._system_cache_lock:
-            system = self._system_cache.get(key)
+            system = self._system_cache.get(cache_key)
             if system is not None:
-                self._system_cache.move_to_end(key)
+                self._system_cache.move_to_end(cache_key)
                 self._system_cache_hits += 1
-                return system
+                return system, True
             self._system_cache_misses += 1
-        system = GlobalLinearSystem(self.aais.channels, extra_terms=key)
+        system = GlobalLinearSystem(channels, extra_terms=key)
         with self._system_cache_lock:
-            self._system_cache[key] = system
+            self._system_cache[cache_key] = system
             while len(self._system_cache) > self.system_cache_size:
                 self._system_cache.popitem(last=False)
-        return system
+                self._system_cache_evictions += 1
+        return system, False
 
-    def _shared_partition(self, channels) -> Tuple[list, list]:
+    def shared_partition(self) -> Tuple[list, list, bool]:
+        """The memoized channel partition and solver strategies.
+
+        Returns
+        -------
+        tuple
+            ``(components, strategies, cache_hit)``.
+        """
         # Publish strategies before partition: concurrent readers test
         # _partition, so under the GIL they can never observe it set
         # while _strategies is still None (worst case both threads
         # compute, which is benign — the results are identical).
         if self._partition is None:
-            partition = list(partition_channels(channels))
+            self._partition_misses += 1
+            partition = list(partition_channels(self.aais.channels))
             strategies = [self._select_strategy(c) for c in partition]
             self._strategies = strategies
             self._partition = partition
-        return self._partition, list(self._strategies)
+            return self._partition, list(self._strategies), False
+        self._partition_hits += 1
+        return self._partition, list(self._strategies), True
 
     def system_cache_stats(self) -> Dict[str, int]:
-        """Hit/miss counters of the cross-compile linear-system cache."""
+        """Counters of the cross-compile linear-system LRU cache.
+
+        ``hits``/``misses`` count lookups, ``size`` the systems
+        currently held, ``capacity`` the LRU cap, and ``evictions`` how
+        many systems the cap has pushed out — nonzero evictions under a
+        long sweep mean the cap (``system_cache_size``) is doing its
+        job of bounding memory.
+        """
         return {
             "hits": self._system_cache_hits,
             "misses": self._system_cache_misses,
             "size": len(self._system_cache),
+            "capacity": self.system_cache_size,
+            "evictions": self._system_cache_evictions,
+        }
+
+    def pass_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of every pass-level structural cache.
+
+        The ``build_linear_system`` pass is backed by the linear-system
+        LRU (see :meth:`system_cache_stats`); the ``partition`` pass by
+        the per-compiler partition memo.
+        """
+        return {
+            "linear_system": self.system_cache_stats(),
+            "partition": {
+                "hits": self._partition_hits,
+                "misses": self._partition_misses,
+            },
         }
 
     # ------------------------------------------------------------------
@@ -387,124 +299,17 @@ class QTurboCompiler:
 
         return GenericStrategy(component)
 
-    def _check_target(self, target: PiecewiseHamiltonian) -> None:
-        needed = target.num_qubits()
-        if needed > self.aais.num_sites:
-            raise CompilationError(
-                f"target touches {needed} qubits but the AAIS has only "
-                f"{self.aais.num_sites} sites"
-            )
-
-    def _bottleneck_time(
-        self,
-        strategies: Sequence[LocalSolverStrategy],
-        alphas: Mapping[str, float],
-    ) -> float:
-        if not strategies:
-            return self.t_floor
-        outcome = optimize_evolution_time(
-            strategies, alphas, t_floor=self.t_floor
-        )
-        return outcome.t_sim
-
-    def _anchor_segment(
-        self,
-        fixed_strategies: Sequence[LocalSolverStrategy],
-        linear_solutions: Sequence[LinearSolution],
-        t_all: Sequence[float],
-    ) -> int:
-        """The segment with the smallest required fixed amplitudes.
-
-        Section 5.3: per-time amplitudes can be lowered (by stretching a
-        segment's evolution time) but never raised, so the positions must
-        realize the smallest β set.
-        """
-        best_index = 0
-        best_beta = math.inf
-        for index, (solution, t_seg) in enumerate(
-            zip(linear_solutions, t_all)
-        ):
-            beta = 0.0
-            for strategy in fixed_strategies:
-                for channel in strategy.component.channels:
-                    beta = max(
-                        beta, abs(solution.alphas[channel.name]) / t_seg
-                    )
-            if beta < best_beta - _ZERO:
-                best_beta = beta
-                best_index = index
-        return best_index
-
-    def _solve_fixed(
-        self,
-        fixed_strategies: Sequence[LocalSolverStrategy],
-        alphas: Mapping[str, float],
-        t_anchor: float,
-    ) -> Tuple[Dict[str, float], Dict[int, LocalSolution], int, List[str]]:
-        """Solve fixed components, stretching time until feasible."""
-        t_current = t_anchor
-        last_solutions: Dict[int, LocalSolution] = {}
-        for iteration in range(self.max_feasibility_iters + 1):
-            values: Dict[str, float] = {}
-            solutions: Dict[int, LocalSolution] = {}
-            feasible = True
-            for k, strategy in enumerate(fixed_strategies):
-                expressions = {
-                    channel.name: alphas[channel.name] / t_current
-                    for channel in strategy.component.channels
-                }
-                solution = strategy.solve_expressions(expressions)
-                solutions[k] = solution
-                values.update(solution.values)
-                if not solution.feasible:
-                    feasible = False
-            last_solutions = solutions
-            if feasible:
-                return values, solutions, iteration, []
-            t_current *= self.feasibility_growth
-        problems = [
-            problem
-            for solution in last_solutions.values()
-            for problem in solution.problems
-        ]
-        raise InfeasibleError(
-            "runtime-fixed variables violate hardware constraints even "
-            f"after {self.max_feasibility_iters} time stretches: "
-            + "; ".join(problems[:5])
-        )
-
-    def _segment_time(
-        self,
-        fixed_strategies: Sequence[LocalSolverStrategy],
-        fixed_solutions: Mapping[int, LocalSolution],
-        alphas: Mapping[str, float],
-        t_dynamic: float,
-    ) -> float:
-        """Final evolution time of a segment.
-
-        With positions frozen, the realized fixed expressions e_c are
-        constants; the best-fit time matching e_c·T ≈ α_c is the
-        amplitude-weighted least-squares solution, floored by the dynamic
-        bottleneck.
-        """
-        numerator = 0.0
-        denominator = 0.0
-        for index, _strategy in enumerate(fixed_strategies):
-            solution = fixed_solutions[index]
-            for name, expr in solution.achieved_expressions.items():
-                numerator += expr * alphas[name]
-                denominator += expr * expr
-        t_fit = numerator / denominator if denominator > _ZERO else 0.0
-        return max(t_dynamic, t_fit, self.t_floor)
-
-    @staticmethod
-    def _linear_residual(
-        system: GlobalLinearSystem,
-        alphas: Mapping[str, float],
-        b_target: Mapping[PauliString, float],
-    ) -> float:
-        import numpy as np
-
-        return float(
-            np.abs(system.residual_vector(alphas, b_target)).sum()
-        )
+    def _stage_timings(self, unit: CompilationUnit) -> StageTimings:
+        """Charge per-pass wall times to the paper's stage buckets."""
+        timings = StageTimings()
+        for record in unit.records:
+            stage = _PASS_STAGE.get(record.name)
+            if stage is None:
+                continue
+            seconds = record.seconds
+            if record.name == "refinement":
+                lp_seconds = min(unit.refinement_seconds, seconds)
+                timings.refinement += lp_seconds
+                seconds -= lp_seconds
+            setattr(timings, stage, getattr(timings, stage) + seconds)
+        return timings

@@ -15,13 +15,21 @@ __all__ = ["StageTimings", "SegmentSolution", "CompilationResult"]
 
 @dataclass
 class StageTimings:
-    """Wall-clock seconds spent in each compiler stage."""
+    """Wall-clock seconds spent in each compiler stage.
+
+    Covers every stage of the pipeline: the linear build/solve,
+    partitioning, evolution-time optimization, the local (fixed +
+    dynamic) solves, the refinement LP, and schedule emission
+    (``emit``); ``total`` is the end-to-end compile wall time, so
+    ``total - sum(stages)`` is pipeline overhead.
+    """
 
     linear: float = 0.0
     partition: float = 0.0
     time_optimization: float = 0.0
     local_solve: float = 0.0
     refinement: float = 0.0
+    emit: float = 0.0
     total: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
@@ -31,6 +39,7 @@ class StageTimings:
             "time_optimization": self.time_optimization,
             "local_solve": self.local_solve,
             "refinement": self.refinement,
+            "emit": self.emit,
             "total": self.total,
         }
 
@@ -98,6 +107,10 @@ class CompilationResult:
     refinement_applied: bool = False
     feasibility_iterations: int = 0
     warnings: List[str] = field(default_factory=list)
+    #: JSON-form per-pass records (name, seconds, cache_hit,
+    #: diagnostics) from the pipeline run that produced this result;
+    #: render with :func:`repro.core.pipeline.trace_table`.
+    pass_trace: List[Dict] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -159,7 +172,8 @@ class CompilationResult:
             f"partition {timings.partition * 1e3:.2f}, "
             f"time-opt {timings.time_optimization * 1e3:.2f}, "
             f"local {timings.local_solve * 1e3:.2f}, "
-            f"refine {timings.refinement * 1e3:.2f}"
+            f"refine {timings.refinement * 1e3:.2f}, "
+            f"emit {timings.emit * 1e3:.2f}"
         )
         if self.error_budget is not None:
             lines.append(

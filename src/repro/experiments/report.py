@@ -112,10 +112,14 @@ def _job_row(
     return row, json_entry
 
 
-def _aggregates(records: List[Dict]) -> Dict[str, float]:
-    """Aggregate statistics over the successfully completed jobs."""
+def _aggregates(records: List[Dict]) -> Dict[str, object]:
+    """Aggregate statistics over the successfully completed jobs.
+
+    Values are floats, except ``mean_pass_seconds`` which maps pass
+    name → mean seconds across the traced jobs.
+    """
     ok = [r for r in records if r.get("status") == "ok"]
-    aggregates: Dict[str, float] = {}
+    aggregates: Dict[str, object] = {}
     errors = [
         r["compile"]["relative_error"]
         for r in ok
@@ -144,6 +148,22 @@ def _aggregates(records: List[Dict]) -> Dict[str, float]:
     ]
     if fidelities:
         aggregates["mean_fidelity"] = sum(fidelities) / len(fidelities)
+    pass_seconds: Dict[str, float] = {}
+    traced = 0
+    for r in ok:
+        trace = r.get("compile", {}).get("passes")
+        if not trace:
+            continue
+        traced += 1
+        for entry in trace:
+            name = entry.get("name", "?")
+            pass_seconds[name] = pass_seconds.get(name, 0.0) + float(
+                entry.get("seconds", 0.0)
+            )
+    if traced:
+        aggregates["mean_pass_seconds"] = {
+            name: total / traced for name, total in pass_seconds.items()
+        }
     for metric in ("z_avg", "zz_avg"):
         raw = [
             r["observables"][metric]

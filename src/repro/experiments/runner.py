@@ -96,6 +96,9 @@ def _compile_section(result) -> Dict[str, object]:
         )
     else:
         section["message"] = result.message
+    if result.pass_trace:
+        section["passes"] = list(result.pass_trace)
+        section["stage_timings"] = result.stage_timings.as_dict()
     if result.warnings:
         section["warnings"] = list(result.warnings)
     return section

@@ -45,6 +45,8 @@ __all__ = [
 DEVICE_CHOICES = DEVICE_PRESETS
 
 #: Keyword arguments a spec may forward to the QTurbo compiler.
+#: ``passes`` is special-cased: its mapping value is validated against
+#: the pass registry and canonicalized to a hashable pair form.
 _COMPILER_KNOBS = frozenset(
     {
         "refine",
@@ -53,6 +55,7 @@ _COMPILER_KNOBS = frozenset(
         "feasibility_growth",
         "max_feasibility_iters",
         "system_cache_size",
+        "passes",
     }
 )
 
@@ -114,6 +117,31 @@ def _pairs(section: Optional[Mapping]) -> Tuple[Tuple[str, object], ...]:
     if not section:
         return ()
     return tuple(sorted(section.items()))
+
+
+def _normalize_compiler(section: Mapping) -> Dict[str, object]:
+    """Validate the compiler section, canonicalizing the passes config.
+
+    The ``passes`` value — a mapping with ``enable``/``disable``/
+    ``order`` lists of pass names — is validated against the compiler's
+    pass registry at load time and frozen into the hashable pair form
+    that travels through batch-job keys; a default (empty) config is
+    dropped entirely so it never perturbs the spec hash.
+    """
+    out = dict(section)
+    if "passes" in out:
+        from repro.core.pipeline import normalize_passes_config
+        from repro.errors import CompilationError
+
+        try:
+            config = normalize_passes_config(out["passes"])
+        except CompilationError as error:
+            raise ExperimentError(f"compiler.passes: {error}") from None
+        if config.is_default:
+            out.pop("passes")
+        else:
+            out["passes"] = config.as_pairs()
+    return out
 
 
 @dataclass(frozen=True)
@@ -461,6 +489,7 @@ class ExperimentSpec:
         compiler = data.get("compiler") or {}
         _require(isinstance(compiler, Mapping), "compiler must be a mapping")
         _check_keys(compiler, sorted(_COMPILER_KNOBS), "compiler")
+        compiler = _normalize_compiler(compiler)
 
         simulation = (
             SimulationSpec.from_dict(data["simulation"])
@@ -550,7 +579,12 @@ class ExperimentSpec:
         if self.device_options:
             out["device_options"] = dict(self.device_options)
         if self.compiler:
-            out["compiler"] = dict(self.compiler)
+            compiler = dict(self.compiler)
+            if "passes" in compiler:
+                compiler["passes"] = {
+                    key: list(values) for key, values in compiler["passes"]
+                }
+            out["compiler"] = compiler
         if self.simulation is not None:
             out["simulation"] = self.simulation.to_dict()
         if self.zne is not None:

@@ -14,7 +14,22 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.aais.base import AAIS
 from repro.errors import ScheduleError
 
-__all__ = ["PulseSegment", "PulseSchedule"]
+__all__ = ["PulseSegment", "PulseSchedule", "is_null_segment"]
+
+
+def is_null_segment(
+    channels: Sequence, values: Mapping[str, float], tol: float = 1e-9
+) -> bool:
+    """True when every channel is silent at this variable assignment.
+
+    A segment realizes the zero Hamiltonian — an identity evolution —
+    exactly when every channel's expression evaluates below ``tol`` in
+    magnitude.  Devices with always-on fixed interactions (e.g. Rydberg
+    Van der Waals channels) therefore never produce null segments, while
+    purely dynamic instruction sets do whenever all drives idle.  Used
+    by the compiler's ``schedule_compaction`` pass.
+    """
+    return all(abs(c.evaluate(values)) <= tol for c in channels)
 
 
 @dataclass(frozen=True)

@@ -134,6 +134,74 @@ class TestSpecValidation:
         assert _spec().spec_hash != _spec(time=2.0).spec_hash
 
 
+class TestCompilerPassesSection:
+    def test_passes_section_canonicalized_and_hashable(self):
+        spec = _spec(
+            compiler={"passes": {"enable": ["term_fusion"]}}
+        )
+        assert dict(spec.compiler)["passes"] == (
+            ("enable", ("term_fusion",)),
+        )
+        hash(spec.compiler)  # must stay usable as a batch-job cache key
+
+    def test_passes_round_trips_through_to_dict(self):
+        spec = _spec(
+            compiler={
+                "passes": {
+                    "enable": ["term_fusion", "schedule_compaction"],
+                    "disable": ["refinement"],
+                }
+            }
+        )
+        data = spec.to_dict()
+        assert data["compiler"]["passes"] == {
+            "enable": ["term_fusion", "schedule_compaction"],
+            "disable": ["refinement"],
+        }
+        again = ExperimentSpec.from_dict(data)
+        assert again.spec_hash == spec.spec_hash
+
+    def test_default_passes_config_is_dropped(self):
+        spec = _spec(compiler={"passes": {}, "refine": True})
+        assert "passes" not in dict(spec.compiler)
+        assert spec.spec_hash == _spec(compiler={"refine": True}).spec_hash
+
+    def test_unknown_pass_fails_at_load_time(self):
+        with pytest.raises(ExperimentError, match="unknown compiler pass"):
+            _spec(compiler={"passes": {"enable": ["bogus"]}})
+
+    def test_bad_order_fails_at_load_time(self):
+        with pytest.raises(ExperimentError, match="must run before"):
+            _spec(
+                compiler={
+                    "passes": {
+                        "order": [
+                            "emit_schedule",
+                            "build_linear_system",
+                            "partition",
+                            "time_optimization",
+                            "fixed_solve",
+                            "refinement",
+                        ]
+                    }
+                }
+            )
+
+    def test_passes_flow_into_job_records(self, tmp_path):
+        spec = _spec(
+            compiler={"passes": {"enable": ["term_fusion"]}},
+            device="heisenberg",
+        )
+        result = run_experiment(spec, tmp_path / "run")
+        assert result.all_ok
+        record = result.records[0]
+        names = [e["name"] for e in record["compile"]["passes"]]
+        assert names[0] == "term_fusion"
+        assert "stage_timings" in record["compile"]
+        report = generate_report(tmp_path / "run")
+        assert "mean_pass_seconds" in report.payload["aggregates"]
+
+
 # ----------------------------------------------------------------------
 # Sweep expansion
 # ----------------------------------------------------------------------

@@ -90,6 +90,80 @@ class TestHeisenbergPartition:
         assert all(c.is_dynamic for c in components)
 
 
+class TestUnionFindEdgeCases:
+    def test_singleton_items_are_their_own_roots(self):
+        uf = UnionFind()
+        for item in "abc":
+            uf.add(item)
+        assert {uf.find(i) for i in "abc"} == {"a", "b", "c"}
+        groups = uf.groups()
+        assert sorted(groups.values()) == [["a"], ["b"], ["c"]]
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        uf.union("a", "b")
+        uf.add("a")  # re-adding must not reset the forest
+        assert uf.find("a") == uf.find("b")
+
+    def test_chained_unions_collapse_to_one_root(self):
+        uf = UnionFind()
+        items = [f"v{i}" for i in range(20)]
+        for item in items:
+            uf.add(item)
+        for left, right in zip(items, items[1:]):
+            uf.union(left, right)
+        roots = {uf.find(item) for item in items}
+        assert len(roots) == 1
+        assert sorted(uf.groups()[roots.pop()]) == sorted(items)
+
+    def test_path_compression_flattens_chains(self):
+        uf = UnionFind()
+        items = [f"v{i}" for i in range(50)]
+        for item in items:
+            uf.add(item)
+        for left, right in zip(items, items[1:]):
+            uf.union(left, right)
+        root = uf.find(items[-1])
+        # After a find, every touched item points (almost) directly at
+        # the root — re-finding is O(1).
+        assert uf._parent[items[-1]] == root
+
+    def test_union_by_size_attaches_small_to_large(self):
+        uf = UnionFind()
+        for item in "abcx":
+            uf.add(item)
+        uf.union("a", "b")
+        uf.union("a", "c")  # {a,b,c} with root a
+        root = uf.union("x", "a")  # singleton joins the larger set
+        assert root == uf.find("a")
+        assert uf.find("x") == root
+
+
+class TestPartitionEdgeCases:
+    def test_singleton_channel_components_keep_input_order(self):
+        aais = HeisenbergAAIS(3)
+        components = partition_channels(aais.channels)
+        assert [c.channels[0].name for c in components] == [
+            ch.name for ch in aais.channels
+        ]
+
+    def test_reversed_channel_order_reverses_components(self):
+        aais = HeisenbergAAIS(3)
+        forward = partition_channels(aais.channels)
+        backward = partition_channels(list(reversed(aais.channels)))
+        assert [c.channel_names for c in backward] == list(
+            reversed([c.channel_names for c in forward])
+        )
+
+    def test_variables_deduplicated_within_component(self):
+        aais = RydbergAAIS(3, spec=aquila_spec())
+        for component in partition_channels(aais.channels):
+            names = component.variable_names
+            assert len(names) == len(set(names))
+
+
 class TestEdgeCases:
     def test_empty_input_rejected(self):
         with pytest.raises(CompilationError):

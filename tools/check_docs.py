@@ -31,6 +31,7 @@ DOCSTRING_SURFACE = [
     REPO / "src/repro/sim/__init__.py",
     REPO / "src/repro/batch/compiler.py",
     *sorted((REPO / "src/repro/experiments").glob("*.py")),
+    *sorted((REPO / "src/repro/core/pipeline").glob("*.py")),
 ]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
