@@ -241,6 +241,17 @@ def run_benchmark(
         ),
         "compaction": measure_compaction(sizes, repeat),
     }
+    # Shared BENCH_*.json schema: every report carries the workload
+    # sections as a `runs` list next to `benchmark` and `quick`.
+    report["runs"] = [
+        dict(report[key], workload=key)
+        for key in (
+            "pass_share",
+            "fusion_rydberg",
+            "fusion_heisenberg_all",
+            "compaction",
+        )
+    ]
     path = pathlib.Path(output)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 

@@ -52,8 +52,11 @@ _WORKER_COMPILERS_LOCK = threading.Lock()
 _WORKER_COMPILER_CAP = 16
 
 #: Verification is skipped above this register size regardless of the
-#: per-batch (or per-experiment) cap — dense state vectors grow as 2^N.
-HARD_VERIFY_CAP = 14
+#: per-batch (or per-experiment) cap — state vectors grow as 2^N.  The
+#: matrix-free evolution backend keeps verification to O(2^N) *vector*
+#: memory (no operator matrices), which is what lifts this cap to 20;
+#: beyond that even the state pair stops being cheap.
+HARD_VERIFY_CAP = 20
 
 
 def _aais_digest(aais) -> bytes:
@@ -239,6 +242,9 @@ class BatchCompiler:
         :class:`repro.batch.executors.BatchExecutor` instance.
     workers:
         Worker count for pooled executors (default: a capped CPU count).
+    chunksize:
+        Jobs per dispatch chunk on the process executor (amortizes
+        pickling across a chunk; ignored by serial/thread backends).
     verify:
         When True, each successful compilation is checked by evolving
         the target and the compiled schedule and recording the state
@@ -268,8 +274,9 @@ class BatchCompiler:
         workers: Optional[int] = None,
         verify: bool = False,
         verify_max_qubits: int = 10,
+        chunksize: Optional[int] = None,
     ):
-        self.executor = resolve_executor(executor, workers)
+        self.executor = resolve_executor(executor, workers, chunksize)
         self.verify = bool(verify)
         self.verify_max_qubits = int(verify_max_qubits)
 

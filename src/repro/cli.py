@@ -127,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool size"
     )
     batch_cmd.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="jobs per process-pool dispatch chunk (amortizes pickling "
+        "on large sweeps; serial/thread executors ignore it)",
+    )
+    batch_cmd.add_argument(
         "--verify",
         action="store_true",
         help="simulate each compiled schedule and record state fidelity",
@@ -158,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-vectorized",
         action="store_true",
         help="use the per-realization Krylov loop (baseline path)",
+    )
+    simulate_cmd.add_argument(
+        "--backend",
+        choices=("auto", "dense", "sparse", "matrix_free"),
+        default="auto",
+        help="evolution backend; 'auto' picks per segment, "
+        "'matrix_free' scales past the operator-materialization cap",
     )
     simulate_cmd.add_argument(
         "--zne",
@@ -195,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the spec's execution.workers",
+    )
+    run_cmd.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        help="override the spec's execution.chunksize (jobs per "
+        "process-pool dispatch chunk)",
     )
     run_cmd.add_argument(
         "--dry-run",
@@ -371,6 +392,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
         verify=args.verify,
+        chunksize=args.chunksize,
     )
     batch = compiler.compile_many(jobs)
     cache_stats = operator_cache_stats()
@@ -437,6 +459,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
     if args.shots < 1:
         raise CLIUsageError(f"--shots must be >= 1, got {args.shots}")
+    if args.no_vectorized and args.backend != "auto":
+        raise CLIUsageError(
+            "--no-vectorized runs the legacy per-realization sparse-Krylov "
+            "loop and ignores --backend; drop one of the two flags"
+        )
     target = _build_target(args)
     aais = _build_aais(args, target)
     result = QTurboCompiler(aais).compile(target, args.time)
@@ -447,12 +474,15 @@ def _command_simulate(args: argparse.Namespace) -> int:
         noise_samples=args.noise_samples,
         seed=args.seed,
         vectorized=not args.no_vectorized,
+        backend=args.backend,
     )
     payload = {
         "workload": result.summary(),
         "shots": args.shots,
         "noise_samples": args.noise_samples,
         "vectorized": not args.no_vectorized,
+        # The legacy loop is the sparse-Krylov path; record what ran.
+        "backend": "sparse" if args.no_vectorized else args.backend,
     }
     tick = time.perf_counter()
     if args.zne:
@@ -496,7 +526,11 @@ def _command_run(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentRunner, generate_report, load_spec
 
     spec = load_spec(args.spec)
-    runner = ExperimentRunner(executor=args.executor, workers=args.workers)
+    runner = ExperimentRunner(
+        executor=args.executor,
+        workers=args.workers,
+        chunksize=args.chunksize,
+    )
     if args.dry_run:
         jobs = runner.plan(spec)
         print(

@@ -117,6 +117,7 @@ def _simulation_sections(
         noise_samples=sim.noise_samples,
         seed=seed,
         vectorized=sim.vectorized,
+        backend=sim.backend,
     )
     sections: Dict[str, object] = {}
     if spec.zne is not None:
@@ -283,15 +284,20 @@ class ExperimentRunner:
         Override the spec's ``execution.executor`` (name or instance).
     workers:
         Override the spec's ``execution.workers``.
+    chunksize:
+        Override the spec's ``execution.chunksize`` (jobs per
+        process-pool dispatch chunk).
     """
 
     def __init__(
         self,
         executor: Optional[str] = None,
         workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
     ):
         self.executor = executor
         self.workers = workers
+        self.chunksize = chunksize
 
     def plan(self, spec: ExperimentSpec) -> List[ExperimentJob]:
         """The deterministic job list the sweep grid expands into."""
@@ -339,6 +345,9 @@ class ExperimentRunner:
             self.workers
             if self.workers is not None
             else spec.execution.workers,
+            self.chunksize
+            if self.chunksize is not None
+            else spec.execution.chunksize,
         )
         payloads = [
             (job.index, job.job_id, job.spec.to_dict(), job.seed)
@@ -371,9 +380,10 @@ def run_experiment(
     run_dir: Union[str, Path],
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
     force: bool = False,
 ) -> RunResult:
     """Convenience wrapper: run ``spec`` into ``run_dir`` in one call."""
-    return ExperimentRunner(executor=executor, workers=workers).run(
-        spec, run_dir, force=force
-    )
+    return ExperimentRunner(
+        executor=executor, workers=workers, chunksize=chunksize
+    ).run(spec, run_dir, force=force)

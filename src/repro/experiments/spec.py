@@ -26,6 +26,7 @@ from repro.batch.executors import EXECUTOR_NAMES
 from repro.errors import ExperimentError
 from repro.models.registry import model_names, time_dependent_model_names
 from repro.sim.noise import NoiseParameters
+from repro.sim.propagators import BACKEND_NAMES
 
 __all__ = [
     "DEVICE_CHOICES",
@@ -212,13 +213,20 @@ class ModelSpec:
 
 @dataclass(frozen=True)
 class SimulationSpec:
-    """Noisy Monte-Carlo execution settings (maps to ``NoisySimulator``)."""
+    """Noisy Monte-Carlo execution settings (maps to ``NoisySimulator``).
+
+    ``backend`` selects the evolution engine
+    (``auto|dense|sparse|matrix_free``); ``auto`` picks per segment and
+    ``matrix_free`` forces the Pauli-kernel path that scales past the
+    operator-materialization cap (see ``docs/performance.md``).
+    """
 
     shots: int = 1000
     noise_samples: int = 20
     seed: int = 0
     vectorized: bool = True
     periodic: bool = True
+    backend: str = "auto"
     noise: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
@@ -232,9 +240,16 @@ class SimulationSpec:
                 "seed",
                 "vectorized",
                 "periodic",
+                "backend",
                 "noise",
             ),
             "simulation",
+        )
+        backend = section.get("backend", "auto")
+        _require(
+            backend in BACKEND_NAMES,
+            f"simulation.backend must be one of {BACKEND_NAMES}, "
+            f"got {backend!r}",
         )
         shots = section.get("shots", 1000)
         noise_samples = section.get("noise_samples", 20)
@@ -258,6 +273,7 @@ class SimulationSpec:
             seed=_as_int(section.get("seed", 0), "simulation.seed"),
             vectorized=bool(section.get("vectorized", True)),
             periodic=bool(section.get("periodic", True)),
+            backend=backend,
             noise=_pairs(noise),
         )
 
@@ -270,6 +286,10 @@ class SimulationSpec:
             "vectorized": self.vectorized,
             "periodic": self.periodic,
         }
+        # The default backend is omitted so pre-existing specs keep
+        # their spec hash (and thus their resumable run directories).
+        if self.backend != "auto":
+            out["backend"] = self.backend
         if self.noise:
             out["noise"] = dict(self.noise)
         return out
@@ -356,15 +376,22 @@ class DigitalSpec:
 
 @dataclass(frozen=True)
 class ExecutionSpec:
-    """How the expanded jobs are dispatched (maps to ``repro.batch``)."""
+    """How the expanded jobs are dispatched (maps to ``repro.batch``).
+
+    ``chunksize`` groups jobs per process-pool dispatch so wide sweeps
+    amortize pickling; serial/thread executors ignore it.
+    """
 
     executor: str = "serial"
     workers: Optional[int] = None
+    chunksize: Optional[int] = None
 
     @classmethod
     def from_dict(cls, section: Mapping) -> "ExecutionSpec":
         """Validate and build an :class:`ExecutionSpec` from a mapping."""
-        _check_keys(section, ("executor", "workers"), "execution")
+        _check_keys(
+            section, ("executor", "workers", "chunksize"), "execution"
+        )
         executor = section.get("executor", "serial")
         _require(
             executor in EXECUTOR_NAMES,
@@ -376,13 +403,22 @@ class ExecutionSpec:
             workers is None or (isinstance(workers, int) and workers >= 1),
             f"execution.workers must be a positive integer, got {workers!r}",
         )
-        return cls(executor=executor, workers=workers)
+        chunksize = section.get("chunksize")
+        _require(
+            chunksize is None
+            or (isinstance(chunksize, int) and chunksize >= 1),
+            f"execution.chunksize must be a positive integer, "
+            f"got {chunksize!r}",
+        )
+        return cls(executor=executor, workers=workers, chunksize=chunksize)
 
     def to_dict(self) -> Dict[str, object]:
         """The canonical mapping form (inverse of :meth:`from_dict`)."""
         out: Dict[str, object] = {"executor": self.executor}
         if self.workers is not None:
             out["workers"] = self.workers
+        if self.chunksize is not None:
+            out["chunksize"] = self.chunksize
         return out
 
 
@@ -669,6 +705,7 @@ _SWEEPABLE_EXACT = frozenset(
         "simulation.seed",
         "simulation.vectorized",
         "simulation.periodic",
+        "simulation.backend",
         "zne.factors",
         "digital.epsilon",
         "baseline.seed",

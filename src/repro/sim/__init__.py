@@ -14,6 +14,15 @@ from repro.sim.entanglement import (
     partial_trace,
     von_neumann_entropy,
 )
+from repro.sim.kernels import (
+    HamiltonianKernel,
+    apply_hamiltonian,
+    apply_pauli_string,
+    expm_multiply_matrix_free,
+    hamiltonian_kernel,
+    kernel_cache_stats,
+    lanczos_expm_multiply,
+)
 from repro.sim.noise import NoiseParameters, NoisySimulator, aquila_noise
 from repro.sim.observables import (
     expectation,
@@ -32,8 +41,10 @@ from repro.sim.operators import (
     pauli_string_matrix,
 )
 from repro.sim.propagators import (
+    BACKEND_NAMES,
     clear_simulation_caches,
     configure_simulation_caches,
+    select_backend,
     simulation_cache_stats,
 )
 from repro.sim.sampling import (
@@ -67,6 +78,15 @@ __all__ = [
     "simulation_cache_stats",
     "clear_simulation_caches",
     "configure_simulation_caches",
+    "BACKEND_NAMES",
+    "select_backend",
+    "HamiltonianKernel",
+    "hamiltonian_kernel",
+    "apply_pauli_string",
+    "apply_hamiltonian",
+    "lanczos_expm_multiply",
+    "expm_multiply_matrix_free",
+    "kernel_cache_stats",
     "sample_bitstrings",
     "counts_from_samples",
     "apply_readout_error",

@@ -7,18 +7,21 @@ state under ``exp(−i H t)`` segment by segment.
 Every ``evolve*`` entry point accepts either a single state vector of
 shape ``(2^N,)`` or a **block** of ``k`` states as a ``(2^N, k)`` matrix
 whose columns evolve independently — one solver call pushes all columns
-at once.  On top of the block API, three fast paths (see
-:mod:`repro.sim.propagators`) replace the generic Krylov solver
-(:func:`scipy.sparse.linalg.expm_multiply`) whenever they are cheaper:
+at once.  Each segment dispatches to one of four **backends**
+(``backend: auto|dense|sparse|matrix_free``):
 
-* Z-only Hamiltonians apply ``exp(−i·t·diag)`` as an elementwise phase;
-* small registers exponentiate dense matrices (batched across noise
-  realizations) instead of iterating Krylov per state;
-* recurring ``(H, t)`` segments hit the dense propagator cache and
-  reduce to a single matmul.
-
-``method="krylov"`` forces the plain ``expm_multiply`` path — the
-benchmark baseline and the reference the fast paths are tested against.
+* ``dense`` — the 2^N×2^N unitary is built (batched across noise
+  realizations) and memoized in the propagator cache; small registers.
+* ``sparse`` — the kron-product CSC matrix plus
+  :func:`scipy.sparse.linalg.expm_multiply`; mid-size registers whose
+  matrix fits the memory budget.  ``method="krylov"`` is the historical
+  alias — the benchmark baseline the fast paths are tested against.
+* ``matrix_free`` — bit-mask Pauli kernels plus a Hermitian Lanczos
+  propagator (:mod:`repro.sim.kernels`); no operator is ever
+  materialized, opening registers past the sparse cap.
+* ``auto`` — per-segment selection via
+  :func:`repro.sim.propagators.select_backend` (Z-only Hamiltonians
+  additionally collapse to an elementwise phase multiply at any size).
 """
 
 from __future__ import annotations
@@ -33,15 +36,18 @@ from repro.errors import SimulationError
 from repro.hamiltonian.expression import Hamiltonian
 from repro.hamiltonian.time_dependent import PiecewiseHamiltonian
 from repro.pulse.schedule import PulseSchedule
-from repro.sim.operators import _check_size, hamiltonian_matrix_csc
+from repro.sim.kernels import expm_multiply_matrix_free
+from repro.sim.operators import hamiltonian_matrix_csc
 from repro.sim.propagators import (
+    BACKEND_NAMES,
     batched_propagators,
     cached_propagator,
     diagonal_vector,
-    is_diagonal_hamiltonian,
+    matrix_free_block_columns,
+    matrix_free_krylov_dim,
     propagator_build_max_qubits,
-    propagator_max_qubits,
     record_fast_path,
+    select_backend,
     store_propagator,
 )
 
@@ -55,8 +61,11 @@ __all__ = [
     "evolve_schedule_block",
 ]
 
-#: Recognized values of the ``method`` argument.
-EVOLVE_METHODS = ("auto", "krylov", "dense")
+#: Recognized values of the ``method`` argument (``krylov`` is the
+#: historical alias of the ``sparse`` backend).
+EVOLVE_METHODS = ("auto", "krylov", "dense", "sparse", "matrix_free")
+
+_METHOD_ALIASES = {"krylov": "sparse"}
 
 
 def ground_state(num_qubits: int) -> np.ndarray:
@@ -80,6 +89,8 @@ def _check_state(state: np.ndarray, num_qubits: int) -> np.ndarray:
     """Coerce to complex and validate a ``(2^N,)`` vector or ``(2^N, k)``
     column block."""
     state = np.asarray(state, dtype=complex)
+    if num_qubits < 1:
+        raise SimulationError("need at least 1 qubit")
     dim = 2**num_qubits
     if state.ndim not in (1, 2) or state.shape[0] != dim:
         raise SimulationError(
@@ -89,12 +100,32 @@ def _check_state(state: np.ndarray, num_qubits: int) -> np.ndarray:
     return state
 
 
-def _check_method(method: str) -> None:
+def _resolve_method(method: str, backend: Optional[str]) -> str:
+    """Merge the legacy ``method`` and the ``backend`` selectors.
+
+    ``backend`` (auto/dense/sparse/matrix_free) wins when given; passing
+    a conflicting non-default ``method`` at the same time is an error so
+    the two spellings can never silently disagree.
+    """
     if method not in EVOLVE_METHODS:
         raise SimulationError(
             f"unknown evolve method {method!r}; expected one of "
             f"{EVOLVE_METHODS}"
         )
+    resolved = _METHOD_ALIASES.get(method, method)
+    if backend is not None:
+        if backend not in BACKEND_NAMES:
+            raise SimulationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{BACKEND_NAMES}"
+            )
+        if resolved not in ("auto", backend):
+            raise SimulationError(
+                f"conflicting selectors: method={method!r} vs "
+                f"backend={backend!r}"
+            )
+        resolved = backend
+    return resolved
 
 
 def _columns(state: np.ndarray) -> int:
@@ -129,6 +160,7 @@ def evolve(
     num_qubits: int,
     cache: bool = True,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """``exp(−i H t) |ψ⟩`` for a constant Hamiltonian.
 
@@ -142,18 +174,24 @@ def evolve(
         independently under the same Hamiltonian.
     cache:
         ``cache=False`` stores nothing keyed on this Hamiltonian (no
-        operator matrix, assembled diagonal, or propagator entries) —
-        use it for one-shot Hamiltonians (noise realizations) that
-        would otherwise pollute the caches without ever being hit.
-        Fast paths still apply, shared per-string basis caches still
-        fill, and an already-cached propagator is still used.
+        operator matrix, assembled diagonal, propagator or kernel
+        entries) — use it for one-shot Hamiltonians (noise
+        realizations) that would otherwise pollute the caches without
+        ever being hit.  Fast paths still apply, shared per-string
+        basis/sign caches still fill, and an already-cached propagator
+        is still used.
     method:
-        ``"auto"`` picks the cheapest path; ``"krylov"`` forces plain
-        ``expm_multiply`` (the pre-vectorization baseline); ``"dense"``
+        ``"auto"`` picks the cheapest path; ``"krylov"`` (alias
+        ``"sparse"``) forces plain ``expm_multiply``; ``"dense"``
         forces the dense-propagator path regardless of the size
         thresholds (above ``propagator_max_qubits`` the unitary is
-        built but not cached; > ``MAX_QUBITS`` registers are refused at
-        the operator layer).
+        built but not cached; the configurable operator cap still
+        refuses absurd dense builds); ``"matrix_free"`` forces the
+        Pauli-kernel Lanczos path at any size.
+    backend:
+        The preferred spelling of the selector
+        (``auto|dense|sparse|matrix_free``); overrides a default
+        ``method`` and conflicts loudly with a non-default one.
     """
     state = _check_state(state, num_qubits)
     if state.ndim == 1:
@@ -164,6 +202,7 @@ def evolve(
             num_qubits,
             cache=cache,
             method=method,
+            backend=backend,
         )
         return out[:, 0]
     return evolve_block(
@@ -173,6 +212,7 @@ def evolve(
         num_qubits,
         cache=cache,
         method=method,
+        backend=backend,
     )
 
 
@@ -183,15 +223,19 @@ def evolve_block(
     num_qubits: int,
     cache: bool = False,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Evolve column ``i`` of ``states`` under ``hamiltonians[i]``.
 
     The engine groups columns that share a ``(Hamiltonian, duration)``
     pair — one solver call per *distinct* Hamiltonian, not per column —
-    then dispatches each group to the cheapest path: diagonal phase
+    then dispatches each group to the selected backend: diagonal phase
     multiply, cached propagator, batched dense ``expm`` (all misses of a
-    segment are assembled and exponentiated together), or a blocked
-    Krylov solve.
+    segment are assembled and exponentiated together), a blocked Krylov
+    solve on the sparse matrix, or the matrix-free Pauli-kernel Lanczos
+    propagator.  Only the paths that *materialize* an operator are
+    subject to the operator-layer size cap; the diagonal and
+    matrix-free paths scale to any register the state itself fits.
 
     Parameters
     ----------
@@ -203,14 +247,13 @@ def evolve_block(
     durations:
         One shared duration or a length-``k`` sequence.
     cache:
-        Whether the per-group operators/propagators may be memoized.
-        Defaults to False because block callers typically evolve
-        one-shot noise realizations.
+        Whether the per-group operators/propagators/kernels may be
+        memoized.  Defaults to False because block callers typically
+        evolve one-shot noise realizations.
+    backend:
+        ``auto|dense|sparse|matrix_free`` — see :func:`evolve`.
     """
-    _check_method(method)
-    # Refuse > MAX_QUBITS registers up front (every downstream path —
-    # diagonal, dense, Krylov — would otherwise build a 2^N operator).
-    _check_size(num_qubits)
+    resolved = _resolve_method(method, backend)
     states = _check_state(states, num_qubits)
     if states.ndim != 2:
         raise SimulationError(
@@ -261,20 +304,24 @@ def evolve_block(
         block = states[:, cols]
         if duration == 0 or hamiltonian.is_zero:
             out[:, cols] = block
-        elif method == "auto" and is_diagonal_hamiltonian(hamiltonian):
+            continue
+        choice = (
+            select_backend(hamiltonian, num_qubits, len(cols), cache)
+            if resolved == "auto"
+            else resolved
+        )
+        if choice == "diagonal":
             record_fast_path("diagonal", len(cols))
             diagonal = diagonal_vector(hamiltonian, num_qubits, cache=cache)
             out[:, cols] = _apply_phase(block, diagonal, duration)
-        elif method != "krylov" and (
-            method == "dense" or num_qubits <= propagator_max_qubits()
-        ):
+        elif choice == "dense":
             # A miss can only be followed by a store when a dense build
             # is allowed AND the caller permits caching; otherwise probe
             # without stats so guaranteed misses (one-shot noise
             # realizations, oversized registers) don't dilute the
             # cache's hit rate.
             buildable = (
-                method == "dense"
+                resolved == "dense"
                 or num_qubits <= propagator_build_max_qubits()
             )
             unitary = cached_propagator(
@@ -291,6 +338,22 @@ def evolve_block(
             else:
                 out[:, cols] = _krylov(
                     block, hamiltonian, duration, num_qubits, cache
+                )
+        elif choice == "matrix_free":
+            record_fast_path("matrix_free", len(cols))
+            # Wide blocks go through in column chunks so the propagator
+            # working set (several block-sized buffers) honors the same
+            # memory budget the backend selector plans against.
+            chunk = matrix_free_block_columns(num_qubits)
+            for start in range(0, len(cols), chunk):
+                sub = cols[start : start + chunk]
+                out[:, sub] = expm_multiply_matrix_free(
+                    hamiltonian,
+                    states[:, sub],
+                    duration,
+                    num_qubits,
+                    cache=cache,
+                    max_krylov=matrix_free_krylov_dim(num_qubits),
                 )
         else:
             out[:, cols] = _krylov(
@@ -320,6 +383,7 @@ def evolve_piecewise(
     target: PiecewiseHamiltonian,
     num_qubits: int,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Chain :func:`evolve` across all segments of a piecewise target.
 
@@ -332,6 +396,7 @@ def evolve_piecewise(
             segment.duration,
             num_qubits,
             method=method,
+            backend=backend,
         )
     return state
 
@@ -341,6 +406,7 @@ def evolve_schedule(
     schedule: PulseSchedule,
     value_overrides: Optional[Sequence[dict]] = None,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Evolve under the simulator Hamiltonian of a compiled schedule.
 
@@ -358,6 +424,8 @@ def evolve_schedule(
         variable assignment before the Hamiltonian is built.
     method:
         Evolution method forwarded to :func:`evolve`.
+    backend:
+        Backend selector forwarded to :func:`evolve`.
     """
     num_qubits = schedule.aais.num_sites
     state = _check_state(state, num_qubits)
@@ -377,6 +445,7 @@ def evolve_schedule(
             num_qubits,
             cache=cache,
             method=method,
+            backend=backend,
         )
     return state
 
@@ -386,6 +455,7 @@ def evolve_schedule_block(
     schedule: PulseSchedule,
     value_overrides: Optional[Sequence[Sequence[dict]]] = None,
     method: str = "auto",
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Evolve ``k`` noise realizations of one schedule as a column block.
 
@@ -412,7 +482,9 @@ def evolve_schedule_block(
             f"block, got shape {states.shape}"
         )
     if value_overrides is None:
-        return evolve_schedule(states, schedule, method=method)
+        return evolve_schedule(
+            states, schedule, method=method, backend=backend
+        )
     k = states.shape[1]
     if len(value_overrides) != k:
         raise SimulationError(
@@ -442,5 +514,6 @@ def evolve_schedule_block(
             num_qubits,
             cache=False,
             method=method,
+            backend=backend,
         )
     return states

@@ -120,6 +120,14 @@ class NoisySimulator:
         per-realization Krylov loop (benchmark baseline).  Both paths
         draw identical realizations and consume measurement randomness
         identically, so with equal states they yield equal samples.
+    backend:
+        Evolution backend for the vectorized path
+        (``auto|dense|sparse|matrix_free``, see
+        :mod:`repro.sim.evolution`).  ``auto`` picks per segment from
+        the register size, term structure and memory budget —
+        ``matrix_free`` is what opens 16–22-qubit Monte-Carlo runs.
+        The ``vectorized=False`` baseline loop deliberately ignores it
+        (it *is* the sparse-Krylov reference).
     """
 
     def __init__(
@@ -128,13 +136,22 @@ class NoisySimulator:
         noise_samples: int = 20,
         seed: int = 0,
         vectorized: bool = True,
+        backend: str = "auto",
     ):
         if noise_samples < 1:
             raise SimulationError("noise_samples must be >= 1")
+        from repro.sim.propagators import BACKEND_NAMES
+
+        if backend not in BACKEND_NAMES:
+            raise SimulationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{BACKEND_NAMES}"
+            )
         self.noise = noise if noise is not None else aquila_noise()
         self.noise_samples = int(noise_samples)
         self.seed = int(seed)
         self.vectorized = bool(vectorized)
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _draw_override_batch(
@@ -200,7 +217,9 @@ class NoisySimulator:
             initial = np.repeat(
                 ground_state(num_qubits)[:, None], k, axis=1
             )
-            return evolve_schedule_block(initial, schedule, overrides)
+            return evolve_schedule_block(
+                initial, schedule, overrides, backend=self.backend
+            )
         columns = [
             evolve_schedule(
                 ground_state(num_qubits),

@@ -39,6 +39,8 @@ __all__ = [
     "operator_cache_stats",
     "clear_operator_cache",
     "configure_operator_cache",
+    "max_operator_qubits",
+    "configure_operator_limits",
 ]
 
 _SINGLE: Dict[str, np.ndarray] = {
@@ -48,8 +50,35 @@ _SINGLE: Dict[str, np.ndarray] = {
     "Z": np.array([[1, 0], [0, -1]], dtype=complex),
 }
 
-#: Dimension above which building a dense operator is refused.
+#: Default register size above which *materializing* an operator matrix
+#: is refused.  The limit is configurable at runtime via
+#: :func:`configure_operator_limits`; it only guards the sparse/dense
+#: layers — the matrix-free kernels of :mod:`repro.sim.kernels` never
+#: build a matrix and are not subject to it.
 MAX_QUBITS = 16
+
+_operator_limits = {"max_qubits": MAX_QUBITS}
+
+
+def max_operator_qubits() -> int:
+    """Largest register for which operator matrices may be materialized."""
+    return _operator_limits["max_qubits"]
+
+
+def configure_operator_limits(max_qubits: Optional[int] = None) -> None:
+    """Adjust the materialization cap (``None`` leaves it unchanged).
+
+    Raising the cap trades memory for the ability to build explicit
+    matrices on larger registers; consider the matrix-free backend
+    (``backend="matrix_free"``) before doing so — it scales past the cap
+    without ever allocating a ``2^N × 2^N`` operator.
+    """
+    if max_qubits is not None:
+        if max_qubits < 1:
+            raise SimulationError(
+                f"operator qubit cap must be >= 1, got {max_qubits}"
+            )
+        _operator_limits["max_qubits"] = int(max_qubits)
 
 #: Default cache capacities (entries, not bytes).
 DEFAULT_STRING_CACHE_SIZE = 4096
@@ -187,10 +216,17 @@ def pauli_matrix(label: str) -> np.ndarray:
 def _check_size(num_qubits: int) -> None:
     if num_qubits < 1:
         raise SimulationError("operator needs at least 1 qubit")
-    if num_qubits > MAX_QUBITS:
+    cap = _operator_limits["max_qubits"]
+    if num_qubits > cap:
         raise SimulationError(
-            f"refusing to build a 2^{num_qubits}-dimensional operator "
-            f"(cap is {MAX_QUBITS} qubits)"
+            f"refusing to materialize a 2^{num_qubits}-dimensional "
+            f"operator matrix (configurable cap: {cap} qubits). Use the "
+            f"matrix-free backend instead — backend='matrix_free' on the "
+            f"sim.evolve* functions / NoisySimulator, or "
+            f"'simulation.backend: matrix_free' in an experiment spec — "
+            f"which applies Pauli kernels without building the matrix; "
+            f"or raise the cap explicitly via "
+            f"repro.sim.operators.configure_operator_limits(max_qubits=...)"
         )
 
 

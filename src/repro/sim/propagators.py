@@ -32,7 +32,18 @@ from scipy.linalg import expm
 
 from repro.errors import SimulationError
 from repro.hamiltonian.expression import Hamiltonian
-from repro.sim.operators import _SINGLE, MatrixCache
+from repro.sim.kernels import (
+    DEFAULT_MAX_KRYLOV_DIM,
+    clear_kernel_caches,
+    configure_kernel_caches,
+    kernel_cache_stats,
+)
+from repro.sim.operators import (
+    _SINGLE,
+    MatrixCache,
+    _check_size,
+    max_operator_qubits,
+)
 
 __all__ = [
     "is_diagonal_hamiltonian",
@@ -45,6 +56,12 @@ __all__ = [
     "store_propagator",
     "propagator_max_qubits",
     "propagator_build_max_qubits",
+    "select_backend",
+    "sparse_matrix_bytes",
+    "matrix_free_block_columns",
+    "matrix_free_krylov_dim",
+    "memory_budget_bytes",
+    "BACKEND_NAMES",
     "record_fast_path",
     "simulation_cache_stats",
     "clear_simulation_caches",
@@ -67,6 +84,25 @@ DEFAULT_PROPAGATOR_MAX_QUBITS = 10
 #: *hits* use the dense path.
 DEFAULT_PROPAGATOR_BUILD_MAX_QUBITS = 7
 
+#: Working-set budget (bytes) the auto backend selector plans against:
+#: a segment whose sparse CSR/CSC realization would not fit goes
+#: matrix-free instead of materializing the matrix.
+DEFAULT_MEMORY_BUDGET_BYTES = 512 * 2**20
+
+#: One-shot (uncached) Hamiltonians of at least this many qubits skip
+#: the sparse path even when the matrix would fit: the per-realization
+#: kron-product assembly dominates, and the matrix-free kernels reuse
+#: their structure across realizations instead.
+DEFAULT_MATRIX_FREE_MIN_QUBITS = 12
+
+#: Wide same-Hamiltonian blocks amortize one sparse build across all
+#: columns, while the Lanczos propagator pays per column — above this
+#: width auto prefers sparse (when it fits the budget).
+DEFAULT_MATRIX_FREE_MAX_COLUMNS = 32
+
+#: The selectable evolution backends (``auto`` resolves per segment).
+BACKEND_NAMES = ("auto", "dense", "sparse", "matrix_free")
+
 _propagator_cache = MatrixCache(DEFAULT_PROPAGATOR_CACHE_SIZE)
 _diagonal_cache = MatrixCache(DEFAULT_DIAGONAL_CACHE_SIZE)
 _dense_string_cache = MatrixCache(DEFAULT_DENSE_STRING_CACHE_SIZE)
@@ -74,6 +110,9 @@ _dense_string_cache = MatrixCache(DEFAULT_DENSE_STRING_CACHE_SIZE)
 _limits = {
     "propagator_max_qubits": DEFAULT_PROPAGATOR_MAX_QUBITS,
     "propagator_build_max_qubits": DEFAULT_PROPAGATOR_BUILD_MAX_QUBITS,
+    "memory_budget_bytes": DEFAULT_MEMORY_BUDGET_BYTES,
+    "matrix_free_min_qubits": DEFAULT_MATRIX_FREE_MIN_QUBITS,
+    "matrix_free_max_columns": DEFAULT_MATRIX_FREE_MAX_COLUMNS,
 }
 
 
@@ -82,7 +121,13 @@ class _FastPathCounters:
 
     __slots__ = ("_lock", "_counts")
 
-    _NAMES = ("diagonal", "propagator", "dense_build", "krylov")
+    _NAMES = (
+        "diagonal",
+        "propagator",
+        "dense_build",
+        "krylov",
+        "matrix_free",
+    )
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -118,6 +163,86 @@ def propagator_max_qubits() -> int:
 def propagator_build_max_qubits() -> int:
     """Largest register for which a dense propagator is built on a miss."""
     return _limits["propagator_build_max_qubits"]
+
+
+def memory_budget_bytes() -> int:
+    """The working-set budget the auto backend selector plans against."""
+    return _limits["memory_budget_bytes"]
+
+
+def sparse_matrix_bytes(hamiltonian: Hamiltonian, num_qubits: int) -> int:
+    """Estimated bytes of the CSR/CSC realization of ``hamiltonian``.
+
+    Each Pauli string contributes exactly ``2^N`` nonzeros; the union
+    over terms is an upper bound (overlapping supports only shrink it).
+    20 bytes per nonzero covers complex data plus int32 indices.
+    """
+    return hamiltonian.num_terms * (1 << num_qubits) * 20
+
+
+def matrix_free_block_columns(num_qubits: int) -> int:
+    """Widest column chunk the matrix-free propagators get at once.
+
+    The Chebyshev recurrence keeps ~5 block-sized work buffers (plus the
+    input and output), so wide blocks are propagated in column chunks
+    sized to keep that working set inside the memory budget too — the
+    budget governs the whole evolution working set, not just operator
+    materialization.
+    """
+    block_bytes = 8 * (1 << num_qubits) * 16
+    return int(max(1, _limits["memory_budget_bytes"] // block_bytes))
+
+
+def matrix_free_krylov_dim(num_qubits: int) -> int:
+    """Budget-aware Krylov basis cap for the Lanczos propagator.
+
+    The basis is the matrix-free path's only super-linear memory use
+    (``m · 2^N · 16`` bytes); half the configured budget is reserved
+    for it, and a smaller basis simply trades into more sub-steps.
+    """
+    vector_bytes = (1 << num_qubits) * 16
+    affordable = _limits["memory_budget_bytes"] // (2 * vector_bytes)
+    return int(max(8, min(DEFAULT_MAX_KRYLOV_DIM, affordable)))
+
+
+def select_backend(
+    hamiltonian: Hamiltonian,
+    num_qubits: int,
+    columns: int = 1,
+    cache: bool = True,
+) -> str:
+    """Pick the cheapest evolution path for one ``(H, block)`` segment.
+
+    The decision reads the term structure (all-Z Hamiltonians are a
+    phase multiply), the register size, the block width, and the
+    configured memory budget:
+
+    * ``diagonal`` — every term is Z-only, at any size;
+    * ``dense``   — N ≤ :func:`propagator_max_qubits`; the 2^N×2^N
+      unitary is cheap and cacheable;
+    * ``matrix_free`` — the sparse matrix would blow the budget (or the
+      operator cap), or the Hamiltonian is one-shot (``cache=False``) on
+      a large register where per-realization kron assembly dominates
+      and the block is narrow enough that per-column Lanczos wins;
+    * ``sparse``  — otherwise: a cached CSC + ``expm_multiply``.
+    """
+    if is_diagonal_hamiltonian(hamiltonian):
+        return "diagonal"
+    if num_qubits <= _limits["propagator_max_qubits"]:
+        return "dense"
+    if (
+        num_qubits > max_operator_qubits()
+        or sparse_matrix_bytes(hamiltonian, num_qubits)
+        > _limits["memory_budget_bytes"]
+    ):
+        return "matrix_free"
+    if (
+        not cache
+        and num_qubits >= _limits["matrix_free_min_qubits"]
+        and columns <= _limits["matrix_free_max_columns"]
+    ):
+        return "matrix_free"
+    return "sparse"
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +348,7 @@ def dense_hamiltonian_stack(
     matrix times a stack of flattened (cached) string matrices:
     ``(k, S) @ (S, d²) → (k, d, d)``.
     """
+    _check_size(num_qubits)
     dim = 2**num_qubits
     strings: Dict[Tuple, int] = {}
     for hamiltonian in hamiltonians:
@@ -328,23 +454,27 @@ def simulation_cache_stats() -> Dict[str, object]:
 
     ``fast_paths`` counts evolved state *columns* per mechanism:
     ``diagonal`` (phase multiply), ``propagator`` (cached-unitary
-    matmul), ``dense_build`` (freshly exponentiated dense batch) and
-    ``krylov`` (generic ``expm_multiply`` fallback).
+    matmul), ``dense_build`` (freshly exponentiated dense batch),
+    ``krylov`` (sparse ``expm_multiply``) and ``matrix_free`` (Pauli
+    kernels + Lanczos).  ``kernel`` nests the matrix-free sign /
+    structure / kernel cache counters.
     """
     return {
         "propagator": _propagator_cache.stats(),
         "diagonal": _diagonal_cache.stats(),
         "dense_string": _dense_string_cache.stats(),
+        "kernel": kernel_cache_stats(),
         "fast_paths": _counters.snapshot(),
         "limits": dict(_limits),
     }
 
 
 def clear_simulation_caches() -> None:
-    """Empty every fast-path cache and reset all counters."""
+    """Empty every fast-path cache (kernels included), reset counters."""
     _propagator_cache.clear()
     _diagonal_cache.clear()
     _dense_string_cache.clear()
+    clear_kernel_caches()
     _counters.reset()
 
 
@@ -354,8 +484,20 @@ def configure_simulation_caches(
     dense_string_maxsize: Optional[int] = None,
     propagator_max_qubits: Optional[int] = None,
     propagator_build_max_qubits: Optional[int] = None,
+    memory_budget_bytes: Optional[int] = None,
+    matrix_free_min_qubits: Optional[int] = None,
+    matrix_free_max_columns: Optional[int] = None,
+    sign_maxsize: Optional[int] = None,
+    structure_maxsize: Optional[int] = None,
+    kernel_maxsize: Optional[int] = None,
 ) -> None:
-    """Resize the fast-path caches / thresholds (resized caches clear)."""
+    """Resize the fast-path caches / thresholds (resized caches clear).
+
+    ``memory_budget_bytes``, ``matrix_free_min_qubits`` and
+    ``matrix_free_max_columns`` steer :func:`select_backend`; the
+    ``sign``/``structure``/``kernel`` sizes forward to
+    :func:`repro.sim.kernels.configure_kernel_caches`.
+    """
     global _propagator_cache, _diagonal_cache, _dense_string_cache
     if propagator_maxsize is not None:
         _propagator_cache = MatrixCache(propagator_maxsize)
@@ -369,3 +511,28 @@ def configure_simulation_caches(
         _limits["propagator_build_max_qubits"] = int(
             propagator_build_max_qubits
         )
+    if memory_budget_bytes is not None:
+        if memory_budget_bytes < 1:
+            raise SimulationError(
+                f"memory budget must be positive, got {memory_budget_bytes}"
+            )
+        _limits["memory_budget_bytes"] = int(memory_budget_bytes)
+    if matrix_free_min_qubits is not None:
+        if matrix_free_min_qubits < 1:
+            raise SimulationError(
+                f"matrix_free_min_qubits must be >= 1, "
+                f"got {matrix_free_min_qubits}"
+            )
+        _limits["matrix_free_min_qubits"] = int(matrix_free_min_qubits)
+    if matrix_free_max_columns is not None:
+        if matrix_free_max_columns < 0:
+            raise SimulationError(
+                f"matrix_free_max_columns must be >= 0, "
+                f"got {matrix_free_max_columns}"
+            )
+        _limits["matrix_free_max_columns"] = int(matrix_free_max_columns)
+    configure_kernel_caches(
+        sign_maxsize=sign_maxsize,
+        structure_maxsize=structure_maxsize,
+        kernel_maxsize=kernel_maxsize,
+    )

@@ -35,6 +35,11 @@ def chain_aais(n: int) -> RydbergAAIS:
     return RydbergAAIS(n, spec=chain_spec(n))
 
 
+def _square(value: int) -> int:
+    """Module-level worker so the process pool can pickle it."""
+    return value * value
+
+
 @pytest.fixture(scope="module")
 def fig3_jobs():
     """A small slice of the Fig-3 Rydberg workloads."""
@@ -225,6 +230,49 @@ class TestExecutorResolution:
 
     def test_serial_reports_one_worker(self):
         assert SerialExecutor(workers=7).workers == 1
+
+
+class TestChunkedDispatch:
+    def test_chunksize_validated(self):
+        from repro.batch.executors import ProcessBatchExecutor
+
+        with pytest.raises(CompilationError):
+            ProcessBatchExecutor(chunksize=0)
+        with pytest.raises(CompilationError):
+            resolve_executor("process", chunksize=-2)
+
+    def test_explicit_chunksize_wins(self):
+        from repro.batch.executors import ProcessBatchExecutor
+
+        executor = ProcessBatchExecutor(workers=2, chunksize=5)
+        assert executor.effective_chunksize(100) == 5
+
+    def test_default_chunksize_scales_with_batch(self):
+        from repro.batch.executors import ProcessBatchExecutor
+
+        executor = ProcessBatchExecutor(workers=2)
+        # ~4 chunks per worker, never below one job per chunk.
+        assert executor.effective_chunksize(80) == 10
+        assert executor.effective_chunksize(3) == 1
+
+    def test_resolve_executor_threads_chunksize_through(self):
+        executor = resolve_executor("process", workers=2, chunksize=3)
+        assert executor.chunksize == 3
+
+    def test_chunked_process_run_preserves_order(self):
+        from repro.batch.executors import ProcessBatchExecutor
+
+        executor = ProcessBatchExecutor(workers=2, chunksize=4)
+        results = executor.run(_square, list(range(10)))
+        assert results == [i * i for i in range(10)]
+
+    def test_batch_compiler_accepts_chunksize(self, fig3_jobs):
+        compiler = BatchCompiler(
+            executor="process", workers=2, chunksize=2
+        )
+        assert compiler.executor.chunksize == 2
+        batch = compiler.compile_many(fig3_jobs)
+        assert batch.all_succeeded
 
 
 class TestWorkerCompilerReuse:

@@ -49,6 +49,38 @@ class TestSpecValidation:
         assert spec.simulation is None
         assert spec.num_jobs == 1
 
+    def test_simulation_backend_validated_and_round_trips(self):
+        spec = _spec(simulation=dict(_sim_section(), backend="matrix_free"))
+        assert spec.simulation.backend == "matrix_free"
+        assert spec.simulation.to_dict()["backend"] == "matrix_free"
+        with pytest.raises(ExperimentError):
+            _spec(simulation=dict(_sim_section(), backend="gpu"))
+
+    def test_default_backend_keeps_spec_hash_stable(self):
+        """Omitting the default backend must not perturb existing runs."""
+        plain = _spec(simulation=_sim_section())
+        explicit = _spec(simulation=dict(_sim_section(), backend="auto"))
+        assert plain.spec_hash == explicit.spec_hash
+        assert "backend" not in plain.simulation.to_dict()
+
+    def test_backend_is_sweepable(self):
+        spec = _spec(
+            simulation=_sim_section(),
+            sweep={"simulation.backend": ["sparse", "matrix_free"]},
+        )
+        jobs = expand_sweep(spec)
+        assert [job.spec.simulation.backend for job in jobs] == [
+            "sparse",
+            "matrix_free",
+        ]
+
+    def test_execution_chunksize_validated(self):
+        spec = _spec(execution={"executor": "process", "chunksize": 4})
+        assert spec.execution.chunksize == 4
+        assert spec.execution.to_dict()["chunksize"] == 4
+        with pytest.raises(ExperimentError):
+            _spec(execution={"executor": "process", "chunksize": 0})
+
     def test_round_trip_via_json(self, tmp_path):
         spec = _spec(
             simulation=_sim_section(),
