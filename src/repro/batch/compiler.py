@@ -102,13 +102,30 @@ def compiler_for(job: BatchJob) -> QTurboCompiler:
     return compiler
 
 
+def _merge_counters(bucket: dict, counters: dict) -> None:
+    """Sum ``counters`` into ``bucket``, recursing into nested dicts.
+
+    Numeric values add; nested mappings (e.g. the snapshot store's
+    re-entry histogram and disk section) merge key by key; anything
+    else (e.g. a store's root path) keeps the first value seen.
+    """
+    for key, value in counters.items():
+        if isinstance(value, dict):
+            _merge_counters(bucket.setdefault(key, {}), value)
+        elif isinstance(value, (int, float)):
+            bucket[key] = bucket.get(key, 0) + value
+        else:
+            bucket.setdefault(key, value)
+
+
 def pass_cache_stats() -> dict:
     """Aggregate pass-level cache counters across the worker compilers.
 
     The batch engine memoizes one :class:`QTurboCompiler` per distinct
     ``(AAIS, options)``; each compiler owns the structural caches its
     pipeline passes read — the ``build_linear_system`` pass's shared
-    linear-system LRU and the ``partition`` pass's memo.  This sums
+    linear-system LRU, the ``partition`` pass's memo, and (when
+    configured) the incremental-compilation snapshot store.  This sums
     their hit/miss/eviction counters over every live compiler in this
     process (worker processes of the ``process`` executor keep their
     own memos, which are not visible here).
@@ -128,9 +145,7 @@ def pass_cache_stats() -> dict:
     }
     for compiler in compilers:
         for cache_name, counters in compiler.pass_cache_stats().items():
-            bucket = totals[cache_name]
-            for key, value in counters.items():
-                bucket[key] = bucket.get(key, 0) + value
+            _merge_counters(totals.setdefault(cache_name, {}), counters)
     return totals
 
 

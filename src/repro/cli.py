@@ -6,8 +6,12 @@ Commands
     Compile a registered model (or a textual Hamiltonian) onto a device
     and print the schedule plus metrics as JSON.  ``--explain`` prints
     the per-pass trace table (wall time, cache hits, diagnostics);
-    ``--enable-pass``/``--disable-pass`` toggle optional pipeline
-    passes such as ``term_fusion`` and ``schedule_compaction``.
+    ``--explain --at-pass NAME`` additionally dumps the intermediate
+    compilation state as it stood right after that pass ran (see
+    ``docs/compilation.md``); ``--enable-pass``/``--disable-pass``
+    toggle optional pipeline passes such as ``term_fusion`` and
+    ``schedule_compaction``; ``--snapshot-dir`` enables incremental
+    delta-compilation against an on-disk snapshot store.
 ``models``
     List the registered benchmark models.
 ``compare``
@@ -21,10 +25,12 @@ Commands
     Monte-Carlo noisy simulator (optionally with ZNE mitigation),
     printing observables and simulation-cache statistics.
 ``cache-stats``
-    Print the operator, simulation fast-path, and compiler pass-level
-    cache statistics of this process as JSON (most informative at the
-    end of a workload — ``simulate``/``batch --verify`` include the
-    same report inline).
+    Print the operator, simulation fast-path, compiler pass-level, and
+    incremental-snapshot cache statistics of this process as JSON (most
+    informative at the end of a workload — ``simulate``/``batch
+    --verify`` include the same report inline).  ``--snapshot-dir``
+    additionally scans an on-disk snapshot store left by an earlier
+    process.
 ``run``
     Execute a declarative experiment spec (YAML/JSON) end to end —
     sweep expansion, batched compile + noisy simulation + ZNE, and a
@@ -87,6 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable a pipeline pass (e.g. refinement); repeatable",
     )
     compile_cmd.add_argument(
+        "--at-pass",
+        metavar="NAME",
+        help="with --explain: dump the intermediate compilation state "
+        "as it stood right after this pass (time-travel diagnostics)",
+    )
+    compile_cmd.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="enable incremental compilation against this snapshot "
+        "store; repeated/coefficient-only recompiles re-enter the "
+        "pipeline past the cached prefix",
+    )
+    compile_cmd.add_argument(
         "--output",
         choices=("summary", "json"),
         default="summary",
@@ -132,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="jobs per process-pool dispatch chunk (amortizes pickling "
         "on large sweeps; serial/thread executors ignore it)",
+    )
+    batch_cmd.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="enable incremental compilation against this snapshot "
+        "store (delta-compiles repeats and coefficient-only variants)",
     )
     batch_cmd.add_argument(
         "--verify",
@@ -185,9 +210,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="include operator/simulation cache statistics in the output",
     )
 
-    sub.add_parser(
+    cache_cmd = sub.add_parser(
         "cache-stats",
-        help="print operator + simulation cache statistics as JSON",
+        help="print operator + simulation + compiler cache statistics "
+        "as JSON",
+    )
+    cache_cmd.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="also scan this on-disk snapshot store (families, blobs, "
+        "bytes) even if no compiler in this process opened it",
     )
 
     run_cmd = sub.add_parser(
@@ -225,7 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--force",
         action="store_true",
-        help="recompute everything, overwriting existing artifacts",
+        help="recompute everything, overwriting existing artifacts "
+        "(including the run's snapshot store)",
+    )
+    run_cmd.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="disable the run directory's incremental-compilation "
+        "snapshot store (sweeps then compile every point cold)",
     )
     run_cmd.add_argument(
         "--output",
@@ -286,7 +325,10 @@ def _build_aais(args: argparse.Namespace, target: Hamiltonian):
 
 def _command_compile(args: argparse.Namespace) -> int:
     from repro.core.pipeline import trace_table
+    from repro.hamiltonian.time_dependent import PiecewiseHamiltonian
 
+    if args.at_pass and not args.explain:
+        raise CLIUsageError("--at-pass requires --explain")
     target = _build_target(args)
     aais = _build_aais(args, target)
     passes = {}
@@ -295,9 +337,17 @@ def _command_compile(args: argparse.Namespace) -> int:
     if args.disable_pass:
         passes["disable"] = list(args.disable_pass)
     compiler = QTurboCompiler(
-        aais, refine=not args.no_refine, passes=passes or None
+        aais,
+        refine=not args.no_refine,
+        passes=passes or None,
+        snapshots=args.snapshot_dir,
     )
     result = compiler.compile(target, args.time)
+    at_pass_state = None
+    if args.at_pass and result.success:
+        at_pass_state = compiler.explain_at_pass(
+            PiecewiseHamiltonian.constant(target, args.time), args.at_pass
+        )
     if args.output == "json":
         payload = {
             "success": result.success,
@@ -310,11 +360,27 @@ def _command_compile(args: argparse.Namespace) -> int:
         if args.explain:
             payload["passes"] = result.pass_trace
             payload["stage_timings"] = result.stage_timings.as_dict()
+            if result.incremental:
+                payload["incremental"] = result.incremental
+        if at_pass_state is not None:
+            payload["at_pass"] = at_pass_state
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.summary())
         if args.explain:
             print(trace_table(result.pass_trace))
+            if result.incremental:
+                mode = result.incremental["mode"]
+                line = f"incremental: {mode}"
+                if mode == "delta":
+                    line += (
+                        " (re-entered at "
+                        f"{result.incremental['reentry_pass']})"
+                    )
+                print(line)
+        if at_pass_state is not None:
+            print(f"state after pass {args.at_pass!r}:")
+            print(json.dumps(at_pass_state, indent=2, sort_keys=True))
         for warning in result.warnings:
             print(f"warning: {warning}")
     return 0 if result.success else 1
@@ -374,13 +440,17 @@ def _batch_jobs(args: argparse.Namespace) -> List[BatchJob]:
         aais = aais_for_device(args.device, max(n, target.num_qubits()))
         workloads.append((stem, target, aais))
 
+    compiler_options = {}
+    if getattr(args, "snapshot_dir", None):
+        compiler_options["snapshots"] = args.snapshot_dir
     jobs: List[BatchJob] = []
     for round_index in range(args.repeat):
         suffix = f"-r{round_index}" if args.repeat > 1 else ""
         for stem, target, aais in workloads:
             jobs.append(
                 BatchJob.constant(
-                    f"{stem}{suffix}", target, args.time, aais
+                    f"{stem}{suffix}", target, args.time, aais,
+                    **compiler_options,
                 )
             )
     return jobs
@@ -530,6 +600,7 @@ def _command_run(args: argparse.Namespace) -> int:
         executor=args.executor,
         workers=args.workers,
         chunksize=args.chunksize,
+        snapshots=not args.no_snapshots,
     )
     if args.dry_run:
         jobs = runner.plan(spec)
@@ -572,20 +643,25 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0 if report.payload["num_ok"] == report.payload["num_jobs"] else 1
 
 
-def _command_cache_stats(_args: argparse.Namespace) -> int:
+def _command_cache_stats(args: argparse.Namespace) -> int:
     from repro.batch.compiler import pass_cache_stats
+    from repro.core.pipeline import snapshot_cache_stats
 
-    print(
-        json.dumps(
-            {
-                "operator_cache": operator_cache_stats(),
-                "simulation_cache": simulation_cache_stats(),
-                "compiler_cache": pass_cache_stats(),
-            },
-            indent=2,
-            sort_keys=True,
-        )
-    )
+    payload = {
+        "operator_cache": operator_cache_stats(),
+        "simulation_cache": simulation_cache_stats(),
+        "compiler_cache": pass_cache_stats(),
+        "snapshot_cache": snapshot_cache_stats(),
+    }
+    if args.snapshot_dir:
+        # Scan a store left on disk by an earlier process (the live
+        # counters above only see stores opened in this one).
+        from repro.core.pipeline import SnapshotStore
+
+        payload["snapshot_disk"] = SnapshotStore(
+            args.snapshot_dir
+        ).disk_stats()
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 

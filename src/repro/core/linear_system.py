@@ -74,6 +74,10 @@ class GlobalLinearSystem:
         rows = set()
         for channel in self.channels:
             rows.update(channel.dynamics_terms())
+        # Reachability is a property of the channels alone; freeze it
+        # before the target's extra rows are merged in so per-solve
+        # unreachability checks need no set rebuild.
+        self._reachable = frozenset(rows)
         for term in self.extra_terms:
             if not term.is_identity:
                 rows.add(term)
@@ -135,9 +139,7 @@ class GlobalLinearSystem:
         self, b_target: Mapping[PauliString, float]
     ) -> Tuple[PauliString, ...]:
         """Target terms outside every channel's reach."""
-        reachable = set()
-        for channel in self.channels:
-            reachable.update(channel.dynamics_terms())
+        reachable = self._reachable
         missing = [
             term
             for term, value in b_target.items()

@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import threading
 import time
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline.unit import CompilationUnit, PassRecord
 
@@ -41,6 +41,17 @@ class CompilerPass(abc.ABC):
 
     #: Registry name; also the key used by ``compiler.passes`` specs.
     name: str = "pass"
+
+    #: Which target properties invalidate this pass's stored output —
+    #: the incremental-compilation contract (see
+    #: :mod:`repro.core.pipeline.delta` and ``docs/compilation.md``).
+    #: ``"structure"`` means the pass reads *which* Pauli terms the
+    #: target drives; ``"coefficients"`` means it also reads their
+    #: numeric values (or segment durations).  A coefficient-only delta
+    #: re-enters the pipeline at the first pass declaring
+    #: ``"coefficients"``; passes before it carry over from the donor
+    #: snapshot.  The default is conservative: invalidate on everything.
+    invalidation: Tuple[str, ...] = ("structure", "coefficients")
 
     def __init__(self) -> None:
         # Pass instances are shared across threads (the batch layer
@@ -107,14 +118,36 @@ class PassManager:
         """The registry names of the pipeline, in order."""
         return [p.name for p in self.passes]
 
-    def run(self, unit: CompilationUnit, context) -> CompilationUnit:
-        """Execute every pass in order, timing each into ``unit.records``.
+    def run(
+        self,
+        unit: CompilationUnit,
+        context,
+        start_at: int = 0,
+        observer: Optional[Callable[[int, CompilerPass, CompilationUnit], None]] = None,
+    ) -> CompilationUnit:
+        """Execute the passes in order, timing each into ``unit.records``.
 
         A pass that raises still contributes its (partial) record before
         the exception propagates, so failed compilations keep a trace of
         where time went.
+
+        Parameters
+        ----------
+        unit:
+            The IR being compiled.
+        context:
+            The owning compiler (knobs + structural caches).
+        start_at:
+            Pipeline index to begin at.  A delta re-entry passes the
+            first invalidated pass's index here, with ``unit`` restored
+            from the donor snapshot taken just before that pass.
+        observer:
+            Called as ``observer(index, compiler_pass, unit)`` after
+            each pass *succeeds* — the snapshot hook used to serialize
+            per-pass unit states during a cold compile.
         """
-        for compiler_pass in self.passes:
+        for index in range(start_at, len(self.passes)):
+            compiler_pass = self.passes[index]
             tick = time.perf_counter()
             try:
                 unit = compiler_pass.run(unit, context)
@@ -122,6 +155,8 @@ class PassManager:
                 record = compiler_pass._drain()
                 record.seconds = time.perf_counter() - tick
                 unit.records.append(record)
+            if observer is not None:
+                observer(index, compiler_pass, unit)
         return unit
 
     def __repr__(self) -> str:

@@ -60,6 +60,7 @@ __all__ = [
     "TermFusionPass",
     "ScheduleCompactionPass",
     "FusionPlan",
+    "linear_system_key",
 ]
 
 _ZERO = 1e-12
@@ -178,6 +179,25 @@ def _linear_residual(
     return float(np.abs(system.residual_vector(alphas, b_target)).sum())
 
 
+def linear_system_key(unit: CompilationUnit) -> Tuple[PauliString, ...]:
+    """The shared-system cache key for a unit's target.
+
+    The sorted set of non-identity target terms across every segment,
+    mapped through the unit's fusion plan when one is installed — the
+    same key :class:`BuildLinearSystemPass` uses to fetch or build the
+    :class:`~repro.core.linear_system.GlobalLinearSystem`.  The snapshot
+    store records it alongside a donor compile so a delta compile can
+    seed the compiler's system cache without re-deriving the key.
+    """
+    extra_terms: List[PauliString] = []
+    for segment in unit.target.segments:
+        extra_terms.extend(segment.hamiltonian.terms)
+    key = tuple(sorted({t for t in extra_terms if not t.is_identity}))
+    if unit.fusion_plan is not None:
+        key = tuple(sorted({unit.fusion_plan.map_term(t) for t in key}))
+    return key
+
+
 # ----------------------------------------------------------------------
 # Stage passes
 # ----------------------------------------------------------------------
@@ -191,9 +211,16 @@ class BuildLinearSystemPass(CompilerPass):
     When a :class:`TermFusionPass` ran earlier, the fused channel views
     and right-hand sides are used instead, and the pruned channels'
     synthesized variables are pinned to zero.
+
+    Invalidation inputs: ``structure`` (the term set shapes the matrix)
+    and ``coefficients`` (the right-hand sides are built from them), so
+    this is where a coefficient-only delta re-enters the default
+    pipeline — the matrix itself still arrives pre-factorized from the
+    shared-system cache.
     """
 
     name = "build_linear_system"
+    invalidation = ("structure", "coefficients")
 
     def run(self, unit: CompilationUnit, context) -> CompilationUnit:
         """Build and solve the global linear system for every segment."""
@@ -204,13 +231,8 @@ class BuildLinearSystemPass(CompilerPass):
                 f"target touches {needed} qubits but the AAIS has only "
                 f"{context.aais.num_sites} sites"
             )
-        extra_terms: List[PauliString] = []
-        for segment in target.segments:
-            extra_terms.extend(segment.hamiltonian.terms)
         plan = unit.fusion_plan
-        key = tuple(sorted({t for t in extra_terms if not t.is_identity}))
-        if plan is not None:
-            key = tuple(sorted({plan.map_term(t) for t in key}))
+        key = linear_system_key(unit)
         channels = (
             unit.system_channels
             if unit.system_channels is not None
@@ -260,9 +282,13 @@ class PartitionPass(CompilerPass):
     The partition depends only on the AAIS channels, so the compiler
     memoizes it across compilations; this pass reads the memo and splits
     the strategies into runtime-fixed and runtime-dynamic groups.
+
+    Invalidation inputs: none — the partition never reads the target,
+    so no target change invalidates its stored output.
     """
 
     name = "partition"
+    invalidation = ()
 
     def run(self, unit: CompilationUnit, context) -> CompilationUnit:
         """Partition the channels and select per-component solvers."""
@@ -285,9 +311,14 @@ class PartitionPass(CompilerPass):
 
 
 class TimeOptimizationPass(CompilerPass):
-    """Stage 3 (§5.1): per-segment bottleneck evolution times."""
+    """Stage 3 (§5.1): per-segment bottleneck evolution times.
+
+    Invalidation inputs: ``structure`` and ``coefficients`` — the
+    bottleneck times are functions of the per-segment linear solutions.
+    """
 
     name = "time_optimization"
+    invalidation = ("structure", "coefficients")
 
     def run(self, unit: CompilationUnit, context) -> CompilationUnit:
         """Compute dynamic-only and all-component bottleneck times."""
@@ -316,9 +347,13 @@ class FixedSolvePass(CompilerPass):
     hardware constraints hold; then fixes each segment's final time and
     overwrites the fixed channels' synthesized targets with the values
     those positions actually achieve.
+
+    Invalidation inputs: ``structure`` and ``coefficients`` — the
+    anchor segment and solved positions depend on the numeric α values.
     """
 
     name = "fixed_solve"
+    invalidation = ("structure", "coefficients")
 
     def run(self, unit: CompilationUnit, context) -> CompilationUnit:
         """Solve fixed components and derive per-segment times."""
@@ -370,6 +405,9 @@ class RefinementPass(CompilerPass):
     program), then solve each dynamic component's amplitude variables at
     the segment's final time and accumulate the local ε₂ residuals.
 
+    Invalidation inputs: ``structure`` and ``coefficients`` — both the
+    LP and the dynamic solves consume the numeric targets.
+
     Parameters
     ----------
     apply_refinement:
@@ -378,6 +416,7 @@ class RefinementPass(CompilerPass):
     """
 
     name = "refinement"
+    invalidation = ("structure", "coefficients")
 
     def __init__(self, apply_refinement: bool = True):
         super().__init__()
@@ -442,9 +481,13 @@ class EmitSchedulePass(CompilerPass):
     the :class:`~repro.pulse.schedule.PulseSchedule`, validates it
     against the hardware constraints, and writes the
     :class:`~repro.core.result.CompilationResult` into the unit.
+
+    Invalidation inputs: ``structure`` and ``coefficients`` — the
+    emitted schedule is the fully numeric end product.
     """
 
     name = "emit_schedule"
+    invalidation = ("structure", "coefficients")
 
     def run(self, unit: CompilationUnit, context) -> CompilationUnit:
         """Emit the pulse schedule and the compilation result."""
@@ -659,6 +702,13 @@ class TermFusionPass(CompilerPass):
     report a combined residual), so the pass is opt-in rather than part
     of the default pipeline.
 
+    Invalidation inputs: ``structure`` only — the plan is a pure
+    function of the channels and the *set* of targeted terms (built
+    with the same ``> 1e-12`` drop threshold Hamiltonian construction
+    applies, so equal structure digests select equal plans).  A
+    coefficient-only delta therefore carries the donor's fusion plan
+    and re-enters the pipeline after this pass.
+
     Parameters
     ----------
     tol:
@@ -666,6 +716,7 @@ class TermFusionPass(CompilerPass):
     """
 
     name = "term_fusion"
+    invalidation = ("structure",)
 
     #: Plans are pure functions of (channels, targeted terms); channels
     #: are fixed per compiler, so a small per-pass memo keyed on the
@@ -821,6 +872,9 @@ class ScheduleCompactionPass(CompilerPass):
     segment is always kept — an all-idle program still needs a
     schedule.
 
+    Invalidation inputs: ``structure`` and ``coefficients`` — nullness
+    is decided from solved numeric values.
+
     Parameters
     ----------
     tol:
@@ -828,6 +882,7 @@ class ScheduleCompactionPass(CompilerPass):
     """
 
     name = "schedule_compaction"
+    invalidation = ("structure", "coefficients")
 
     def __init__(self, tol: float = 1e-9):
         super().__init__()

@@ -15,6 +15,7 @@ API); see ``docs/experiments.md`` for the record schema.
 
 from __future__ import annotations
 
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,11 +38,17 @@ from repro.experiments.store import ArtifactStore
 __all__ = ["ExperimentRunner", "RunResult", "run_experiment"]
 
 
-def _build_workload(spec: ExperimentSpec, job_id: str):
+def _build_workload(
+    spec: ExperimentSpec, job_id: str, snapshot_dir: Optional[str] = None
+):
     """Build ``(batch_job, time_independent_target, num_qubits)`` for a spec.
 
     The time-independent target comes back ``None`` for time-dependent
-    models (it only feeds the digital gate-count comparison).
+    models (it only feeds the digital gate-count comparison).  The
+    ``compiler.snapshots`` knob resolves here: a string names an
+    explicit snapshot directory, ``false`` disables incremental
+    compilation, and ``true`` (the default) uses the runner-provided
+    ``snapshot_dir`` — so sweeps delta-compile automatically.
     """
     from repro.aais import aais_for_device
     from repro.hamiltonian import parse_hamiltonian
@@ -50,6 +57,11 @@ def _build_workload(spec: ExperimentSpec, job_id: str):
     model = spec.model
     params = dict(model.params)
     compiler_options = dict(spec.compiler)
+    snapshots = compiler_options.pop("snapshots", True)
+    if isinstance(snapshots, str):
+        compiler_options["snapshots"] = snapshots
+    elif snapshots and snapshot_dir is not None:
+        compiler_options["snapshots"] = snapshot_dir
     if model.hamiltonian is not None:
         target = parse_hamiltonian(model.hamiltonian)
         num_qubits = max(model.qubits, target.num_qubits())
@@ -99,6 +111,8 @@ def _compile_section(result) -> Dict[str, object]:
     if result.pass_trace:
         section["passes"] = list(result.pass_trace)
         section["stage_timings"] = result.stage_timings.as_dict()
+    if getattr(result, "incremental", None):
+        section["incremental"] = dict(result.incremental)
     if result.warnings:
         section["warnings"] = list(result.warnings)
     return section
@@ -173,11 +187,15 @@ def execute_job(
     job_id: str = "job0000-adhoc",
     index: int = 0,
     seed: int = 0,
+    snapshot_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run every stage of one resolved spec and return its job record.
 
     This is the unit of work the executors distribute; any exception is
     captured into a ``status="error"`` record rather than propagated.
+    ``snapshot_dir`` is the runner-managed incremental-compilation
+    store the job's compiler uses unless the spec overrides
+    ``compiler.snapshots``.
     """
     tick = time.perf_counter()
     record: Dict[str, object] = {
@@ -187,7 +205,9 @@ def execute_job(
         "spec_hash": spec.spec_hash,
     }
     try:
-        job, flat_target, num_qubits = _build_workload(spec, job_id)
+        job, flat_target, num_qubits = _build_workload(
+            spec, job_id, snapshot_dir
+        )
         record["num_qubits"] = num_qubits
         if spec.digital is not None and flat_target is not None:
             record["digital"] = _digital_section(spec, flat_target)
@@ -218,12 +238,18 @@ def execute_job(
 
 
 def _execute_payload(
-    payload: Tuple[int, str, Dict, int],
+    payload: Tuple[int, str, Dict, int, Optional[str]],
 ) -> Dict[str, object]:
     """Module-level worker so the process executor can pickle it."""
-    index, job_id, spec_dict, seed = payload
+    index, job_id, spec_dict, seed, snapshot_dir = payload
     spec = ExperimentSpec.from_dict(spec_dict)
-    return execute_job(spec, job_id=job_id, index=index, seed=seed)
+    return execute_job(
+        spec,
+        job_id=job_id,
+        index=index,
+        seed=seed,
+        snapshot_dir=snapshot_dir,
+    )
 
 
 @dataclass
@@ -287,6 +313,12 @@ class ExperimentRunner:
     chunksize:
         Override the spec's ``execution.chunksize`` (jobs per
         process-pool dispatch chunk).
+    snapshots:
+        Manage an incremental-compilation snapshot store at
+        ``<run-dir>/snapshots`` (default True): sweep jobs sharing a
+        compile family delta-compile instead of compiling cold, and
+        the store survives across invocations for resumed runs.
+        Specs can still override per-job via ``compiler.snapshots``.
     """
 
     def __init__(
@@ -294,10 +326,12 @@ class ExperimentRunner:
         executor: Optional[str] = None,
         workers: Optional[int] = None,
         chunksize: Optional[int] = None,
+        snapshots: bool = True,
     ):
         self.executor = executor
         self.workers = workers
         self.chunksize = chunksize
+        self.snapshots = bool(snapshots)
 
     def plan(self, spec: ExperimentSpec) -> List[ExperimentJob]:
         """The deterministic job list the sweep grid expands into."""
@@ -333,6 +367,13 @@ class ExperimentRunner:
         store = ArtifactStore(run_dir)
         store.initialize(spec, jobs, force=force)
 
+        snapshot_dir: Optional[str] = None
+        if self.snapshots:
+            snapshot_path = Path(run_dir) / "snapshots"
+            if force and snapshot_path.exists():
+                shutil.rmtree(snapshot_path)
+            snapshot_dir = str(snapshot_path)
+
         pending = [
             job
             for job in jobs
@@ -350,7 +391,8 @@ class ExperimentRunner:
             else spec.execution.chunksize,
         )
         payloads = [
-            (job.index, job.job_id, job.spec.to_dict(), job.seed)
+            (job.index, job.job_id, job.spec.to_dict(), job.seed,
+             snapshot_dir)
             for job in pending
         ]
         fresh = executor.run(_execute_payload, payloads)
@@ -382,8 +424,12 @@ def run_experiment(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     force: bool = False,
+    snapshots: bool = True,
 ) -> RunResult:
     """Convenience wrapper: run ``spec`` into ``run_dir`` in one call."""
     return ExperimentRunner(
-        executor=executor, workers=workers, chunksize=chunksize
+        executor=executor,
+        workers=workers,
+        chunksize=chunksize,
+        snapshots=snapshots,
     ).run(spec, run_dir, force=force)

@@ -39,6 +39,19 @@ _PRODUCT: Dict[Tuple[str, str], Tuple[complex, str]] = {
 }
 
 
+def _restore_pauli(ops) -> "PauliString":
+    """Rebuild a pickled :class:`PauliString` from its sorted ops tuple.
+
+    Bypasses constructor validation (the ops were normalized when the
+    string was first built) — unpickling sits on the hot path of
+    snapshot loads and process-pool dispatch.
+    """
+    string = PauliString.__new__(PauliString)
+    string._ops = ops
+    string._hash = hash(ops)
+    return string
+
+
 class PauliString:
     """An immutable product of single-qubit Pauli operators.
 
@@ -233,6 +246,15 @@ class PauliString:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Pickle only the ops and recompute ``_hash`` on load: the
+        # cached value is salted by this process's PYTHONHASHSEED, so
+        # shipping it across a process boundary would hand the receiver
+        # a hash inconsistent with locally built equal strings — and it
+        # makes pickle bytes (used for content digests) process-
+        # dependent.
+        return (_restore_pauli, (self._ops,))
 
     def __mul__(self, other: "PauliString") -> Tuple[complex, "PauliString"]:
         return self.multiply(other)

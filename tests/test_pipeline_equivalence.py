@@ -299,3 +299,28 @@ def test_no_refine_matches_seed():
     seed = _seed_compile(aais, piecewise, refine=False)
     pipeline = QTurboCompiler(aais, refine=False).compile_piecewise(piecewise)
     _assert_identical(pipeline, seed)
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("model", model_names())
+def test_delta_compile_matches_seed_compiler(model, device, tmp_path):
+    """A delta re-entry over a carried donor prefix is bit-identical.
+
+    The donor compiles at t=1.0 and populates the snapshot store; the
+    sweep point at t=1.3 shares the donor's structure (same nonzero
+    terms) but not its coefficients, so a fresh compiler serves it as a
+    delta — which must equal the frozen seed compiler bit for bit.
+    """
+    qubits = _MIN_QUBITS.get(model, QUBITS)
+    target = build_model(model, qubits)
+    aais = aais_for_device(device, max(qubits, target.num_qubits()))
+    store = str(tmp_path / "snapshots")
+    donor = QTurboCompiler(aais, snapshots=store).compile_piecewise(
+        PiecewiseHamiltonian.constant(target, 1.0)
+    )
+    assert donor.incremental is None
+    point = PiecewiseHamiltonian.constant(target, 1.3)
+    delta = QTurboCompiler(aais, snapshots=store).compile_piecewise(point)
+    assert delta.incremental is not None
+    assert delta.incremental["mode"] == "delta"
+    _assert_identical(delta, _seed_compile(aais, point))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation health checks (run by the CI ``docs`` job).
 
-Three passes, all stdlib-only:
+Four passes, all stdlib-only:
 
 1. **Links** — every relative markdown link target in README.md and
    docs/*.md must exist on disk.
@@ -11,8 +11,14 @@ Three passes, all stdlib-only:
    least one document.
 3. **Docstrings** — the documented public API surface
    (repro/__init__.py, sim/__init__.py, batch/compiler.py,
-   experiments/*) must keep module docstrings and docstrings on every
-   public class/function (AST-based, mirrors the ruff D gate).
+   experiments/*, core/pipeline/*) must keep module docstrings and
+   docstrings on every public class/function (AST-based, mirrors the
+   ruff D gate).
+4. **Pass table** — docs/compilation.md documents the snapshot
+   invalidation contract; every registered compiler pass (``name =``
+   declarations in core/pipeline/passes.py) must appear in its pass
+   table, so a new pass cannot land without documenting what
+   invalidates it.
 
 Exit status is the number of problems found.
 """
@@ -101,12 +107,37 @@ def check_docstrings(problems: list) -> None:
             )
 
 
+_PASS_NAME = re.compile(r'^\s*name = "([a-z_]+)"$', re.MULTILINE)
+
+
+def check_pass_table(problems: list) -> None:
+    """Pass 4: every registered compiler pass is documented.
+
+    docs/compilation.md owns the invalidation contract, so each pass
+    name declared in core/pipeline/passes.py must appear there (in a
+    backticked table cell).
+    """
+    passes_py = REPO / "src/repro/core/pipeline/passes.py"
+    contract = REPO / "docs/compilation.md"
+    if not contract.exists():
+        problems.append("docs/compilation.md: missing (invalidation contract)")
+        return
+    text = contract.read_text(encoding="utf-8")
+    for name in _PASS_NAME.findall(passes_py.read_text(encoding="utf-8")):
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/compilation.md: registered pass {name!r} missing "
+                "from the invalidation table"
+            )
+
+
 def main() -> int:
     """Run all passes; print problems; return their count."""
     problems: list = []
     check_links(problems)
     check_snippets(problems)
     check_docstrings(problems)
+    check_pass_table(problems)
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if not problems:
