@@ -23,8 +23,18 @@ from repro.batch.executors import (
     resolve_executor,
 )
 from repro.batch.jobs import BatchJob, BatchResult, JobOutcome
+from repro.batch.retry import (
+    RetryPolicy,
+    call_with_retry,
+    fault_tolerance_stats,
+    reset_fault_stats,
+)
 
 __all__ = [
+    "RetryPolicy",
+    "call_with_retry",
+    "fault_tolerance_stats",
+    "reset_fault_stats",
     "BatchCompiler",
     "HARD_VERIFY_CAP",
     "compiler_for",

@@ -31,7 +31,10 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.batch.executors import BatchExecutor, resolve_executor
 from repro.batch.jobs import BatchJob, BatchResult, JobOutcome
+from repro.batch.retry import RetryPolicy, call_with_retry
 from repro.core.compiler import QTurboCompiler
+from repro.errors import classify_failure
+from repro.testing.faults import fault_point
 
 __all__ = [
     "BatchCompiler",
@@ -208,12 +211,22 @@ def verify_fidelity(job: BatchJob, result) -> Optional[float]:
 
 
 def _execute_payload(
-    payload: Tuple[int, BatchJob, bool, int],
+    payload: Tuple[int, BatchJob, bool, int, Optional[RetryPolicy]],
 ) -> JobOutcome:
-    """Run one job, capturing any failure into the outcome."""
-    index, job, verify, verify_max_qubits = payload
-    tick = time.perf_counter()
-    try:
+    """Run one job (with per-job retry), capturing failure into the outcome.
+
+    Each *attempt* is the full compile (+ optional verification) with no
+    state threaded between attempts, so a retried-to-success job is
+    bit-identical to a first-try success.  Only transient-classified
+    failures retry (see :func:`repro.errors.classify_failure`);
+    isolation is still the contract — one malformed job surfaces as a
+    failed outcome, never as an exception that sinks the whole pool.map
+    and loses every other job's result.
+    """
+    index, job, verify, verify_max_qubits, policy = payload
+
+    def _attempt():
+        fault_point("batch.job")
         compiler = compiler_for(job)
         result = compiler.compile_piecewise(job.target)
         fidelity = None
@@ -224,6 +237,12 @@ def _execute_payload(
                 fidelity = verify_fidelity(job, result)
             else:
                 verify_skipped = True
+        return result, fidelity, verify_skipped
+
+    tick = time.perf_counter()
+    outcome = call_with_retry(_attempt, policy, key=job.name)
+    if outcome.ok:
+        result, fidelity, verify_skipped = outcome.value
         return JobOutcome(
             index=index,
             name=job.name,
@@ -232,19 +251,37 @@ def _execute_payload(
             seconds=time.perf_counter() - tick,
             fidelity=fidelity,
             verify_skipped=verify_skipped,
+            attempts=outcome.attempts_used,
         )
-    # Isolation is the contract: one malformed job must surface as a
-    # failed outcome, never as an exception that sinks the whole
-    # pool.map and loses every other job's result.
-    except Exception as error:
-        return JobOutcome(
-            index=index,
-            name=job.name,
-            ok=False,
-            error=str(error),
-            error_type=type(error).__name__,
-            seconds=time.perf_counter() - tick,
-        )
+    error = outcome.error
+    return JobOutcome(
+        index=index,
+        name=job.name,
+        ok=False,
+        error=str(error),
+        error_type=type(error).__name__,
+        seconds=time.perf_counter() - tick,
+        attempts=outcome.attempts_used,
+        failure_class=outcome.failure_class,
+    )
+
+
+def _failure_outcome(payload, error: BaseException) -> JobOutcome:
+    """Stand-in outcome when the executor could not run a job at all.
+
+    Built in the parent process for deadline kills and unrecovered
+    crashes; carries the failure class so resumed/inspecting callers can
+    tell retryable timeouts from permanent failures.
+    """
+    index, job = payload[0], payload[1]
+    return JobOutcome(
+        index=index,
+        name=job.name,
+        ok=False,
+        error=str(error),
+        error_type=type(error).__name__,
+        failure_class=classify_failure(error),
+    )
 
 
 class BatchCompiler:
@@ -267,6 +304,16 @@ class BatchCompiler:
     verify_max_qubits:
         Skip verification for registers larger than this (state-vector
         cost is 2^N).
+    retry:
+        A :class:`repro.batch.retry.RetryPolicy` (or an int — maximum
+        *extra* attempts) applied per job: transient-classified
+        failures are retried with deterministic seeded backoff; a
+        retried-to-success job is bit-identical to a first-try success.
+    job_timeout:
+        Per-job deadline in seconds.  A job still running at its
+        deadline is killed (process executor) or abandoned
+        (serial/thread) and recorded as a
+        :class:`~repro.errors.JobTimeoutError` outcome.
 
     Examples
     --------
@@ -290,28 +337,46 @@ class BatchCompiler:
         verify: bool = False,
         verify_max_qubits: int = 10,
         chunksize: Optional[int] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        job_timeout: Optional[float] = None,
     ):
-        self.executor = resolve_executor(executor, workers, chunksize)
+        self.executor = resolve_executor(
+            executor, workers, chunksize, job_timeout
+        )
         self.verify = bool(verify)
         self.verify_max_qubits = int(verify_max_qubits)
+        if isinstance(retry, int):
+            retry = (
+                RetryPolicy(max_attempts=retry + 1) if retry > 0 else None
+            )
+        self.retry = retry
 
     # ------------------------------------------------------------------
     def compile_many(self, jobs: Sequence[BatchJob]) -> BatchResult:
         """Execute every job; outcomes come back in submission order."""
         payloads = [
-            (index, job, self.verify, self.verify_max_qubits)
+            (index, job, self.verify, self.verify_max_qubits, self.retry)
             for index, job in enumerate(jobs)
         ]
         tick = time.perf_counter()
         outcomes: List[JobOutcome] = self.executor.run(
-            _execute_payload, payloads
+            _execute_payload, payloads, failure_result=_failure_outcome
         )
         total = time.perf_counter() - tick
+        retried = [o for o in outcomes if o.attempts > 1]
+        fault = {
+            "timeouts": self.executor.fault_events["timeouts"],
+            "pool_respawns": self.executor.fault_events["pool_respawns"],
+            "downgrades": list(self.executor.fault_events["downgrades"]),
+            "jobs_retried": len(retried),
+            "extra_attempts": sum(o.attempts - 1 for o in retried),
+        }
         return BatchResult(
             outcomes=outcomes,
             executor=self.executor.name,
             workers=self.executor.workers,
             total_seconds=total,
+            fault=fault,
         )
 
     def __repr__(self) -> str:

@@ -122,6 +122,12 @@ class JobOutcome:
     #: large for state-vector simulation) — distinguishes "not checked"
     #: from "not requested".
     verify_skipped: bool = False
+    #: How many attempts ran (1 unless a transient failure was retried).
+    attempts: int = 1
+    #: ``transient`` / ``permanent`` / ``crash`` classification of the
+    #: terminal failure (see :func:`repro.errors.classify_failure`);
+    #: None when the job did not raise.
+    failure_class: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:
@@ -155,6 +161,10 @@ class JobOutcome:
             payload["fidelity"] = self.fidelity
         if self.verify_skipped:
             payload["verify_skipped"] = True
+        if self.attempts > 1:
+            payload["attempts"] = self.attempts
+        if self.failure_class is not None:
+            payload["failure_class"] = self.failure_class
         if not self.succeeded:
             payload["failure"] = self.failure_reason
         return payload
@@ -168,6 +178,9 @@ class BatchResult:
     executor: str = "serial"
     workers: int = 1
     total_seconds: float = 0.0
+    #: Executor-level fault events of this run (timeouts, pool
+    #: respawns, downgrades) plus retry totals summed over outcomes.
+    fault: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.outcomes = sorted(self.outcomes, key=lambda o: o.index)
@@ -222,7 +235,7 @@ class BatchResult:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable report of the whole batch."""
-        return {
+        payload = {
             "executor": self.executor,
             "workers": self.workers,
             "total_seconds": self.total_seconds,
@@ -232,6 +245,9 @@ class BatchResult:
             "num_failed": self.num_failed,
             "jobs": [o.as_dict() for o in self.outcomes],
         }
+        if self.fault:
+            payload["fault"] = dict(self.fault)
+        return payload
 
     def __repr__(self) -> str:
         return f"BatchResult({self.summary()})"

@@ -48,7 +48,12 @@ from typing import List, Optional
 
 from repro.aais import DEVICE_PRESETS, aais_for_device
 from repro.baseline import SimuQStyleCompiler
-from repro.batch import EXECUTOR_NAMES, BatchCompiler, BatchJob
+from repro.batch import (
+    EXECUTOR_NAMES,
+    BatchCompiler,
+    BatchJob,
+    RetryPolicy,
+)
 from repro.core import QTurboCompiler
 from repro.hamiltonian import Hamiltonian, parse_hamiltonian
 from repro.models import build_model, model_names
@@ -163,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="simulate each compiled schedule and record state fidelity",
     )
+    _add_fault_tolerance_args(batch_cmd)
     batch_cmd.add_argument(
         "--output",
         choices=("summary", "json"),
@@ -266,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the run directory's incremental-compilation "
         "snapshot store (sweeps then compile every point cold)",
     )
+    _add_fault_tolerance_args(run_cmd, override=True)
     run_cmd.add_argument(
         "--output",
         choices=("summary", "json"),
@@ -286,6 +293,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the report table or the full report JSON",
     )
     return parser
+
+
+def _add_fault_tolerance_args(
+    parser: argparse.ArgumentParser, override: bool = False
+) -> None:
+    """The shared --retries/--job-timeout/--retry-backoff knobs.
+
+    With ``override=True`` (``repro run``) the defaults are None so an
+    omitted flag defers to the spec's ``execution`` section; ``repro
+    batch`` has no spec and defaults to retries off.
+    """
+    suffix = " (overrides the spec's execution section)" if override else ""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None if override else 0,
+        help="extra attempts per job after a transient failure"
+        f"{suffix}; see docs/robustness.md",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job deadline; jobs still running at the deadline are "
+        f"killed and recorded as JobTimeoutError{suffix}",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None if override else 0.05,
+        metavar="SECONDS",
+        help="base delay before the first retry (doubles per further "
+        f"retry, with seeded jitter){suffix}",
+    )
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -463,6 +505,12 @@ def _command_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         verify=args.verify,
         chunksize=args.chunksize,
+        retry=RetryPolicy(
+            max_attempts=args.retries + 1, backoff=args.retry_backoff
+        )
+        if args.retries
+        else None,
+        job_timeout=args.job_timeout,
     )
     batch = compiler.compile_many(jobs)
     cache_stats = operator_cache_stats()
@@ -601,6 +649,9 @@ def _command_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         chunksize=args.chunksize,
         snapshots=not args.no_snapshots,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        job_timeout=args.job_timeout,
     )
     if args.dry_run:
         jobs = runner.plan(spec)
@@ -645,6 +696,7 @@ def _command_report(args: argparse.Namespace) -> int:
 
 def _command_cache_stats(args: argparse.Namespace) -> int:
     from repro.batch.compiler import pass_cache_stats
+    from repro.batch.retry import fault_tolerance_stats
     from repro.core.pipeline import snapshot_cache_stats
 
     payload = {
@@ -652,6 +704,7 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
         "simulation_cache": simulation_cache_stats(),
         "compiler_cache": pass_cache_stats(),
         "snapshot_cache": snapshot_cache_stats(),
+        "fault_tolerance": fault_tolerance_stats(),
     }
     if args.snapshot_dir:
         # Scan a store left on disk by an earlier process (the live

@@ -58,6 +58,7 @@ from repro.core.pipeline.unit import CompilationUnit
 from repro.core.result import CompilationResult, StageTimings
 from repro.core.time_optimizer import MIN_TIME_FLOOR
 from repro.errors import CompilationError, InfeasibleError
+from repro.testing.faults import fault_point
 from repro.hamiltonian.expression import Hamiltonian
 from repro.hamiltonian.time_dependent import (
     PiecewiseHamiltonian,
@@ -214,6 +215,7 @@ class QTurboCompiler:
         incrementally when a usable donor snapshot exists (see the
         ``snapshots`` parameter).
         """
+        fault_point("compiler.compile")
         start = time.perf_counter()
         if self._snapshots is not None:
             return self._compile_incremental(target, start)

@@ -48,7 +48,25 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.testing.faults import fault_point
+
 __all__ = ["SnapshotStore", "snapshot_cache_stats", "reset_snapshot_stores"]
+
+#: Everything a torn/corrupt blob can raise out of ``pickle.loads`` —
+#: a damaged snapshot must always degrade to a cold compile, never
+#: crash the pipeline.
+_BLOB_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ValueError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ImportError,
+    MemoryError,
+)
 
 #: Live stores created in this process, for aggregate cache statistics
 #: (mirrors how the batch layer aggregates compiler caches).
@@ -162,7 +180,7 @@ class SnapshotStore:
         path = self._unit_path(family, index, passes[index])
         try:
             return pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except _BLOB_ERRORS:
             self._count("invalid")
             return None
 
@@ -197,7 +215,7 @@ class SnapshotStore:
         path = self.family_dir(family) / self.SHARED
         try:
             shared = pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except _BLOB_ERRORS:
             self._count("invalid")
             return None
         if not isinstance(shared, dict) or "system_key" not in shared:
@@ -258,6 +276,7 @@ class SnapshotStore:
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_bytes(payload)
         tmp.replace(path)
+        fault_point("snapshot.blob", path=path)
 
     def clear(self) -> None:
         """Delete every family on disk and drop the in-process memo."""

@@ -1,8 +1,26 @@
-"""Exception hierarchy for the :mod:`repro` package.
+"""Exception hierarchy and failure taxonomy for the :mod:`repro` package.
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures without also swallowing programming
 errors such as :class:`TypeError`.
+
+The fault-tolerant execution layer additionally classifies *any* raised
+exception into one of three failure classes via :func:`classify_failure`:
+
+``transient``
+    Expected to succeed on retry — resource pressure, I/O hiccups,
+    deadline kills.  Only these are retried by a
+    :class:`repro.batch.retry.RetryPolicy`.
+``crash``
+    The worker process died (pool breakage, kill, OOM reaper).  Handled
+    at the executor level: the pool is respawned and unfinished jobs
+    re-dispatched, never retried blindly inside a dead worker.
+``permanent``
+    Deterministic failures (infeasible targets, malformed specs, code
+    bugs).  Retrying cannot change the outcome, so it never happens.
+
+See ``docs/robustness.md`` for the full taxonomy table and the retry /
+degradation semantics built on top of it.
 """
 
 from __future__ import annotations
@@ -18,6 +36,12 @@ __all__ = [
     "SimulationError",
     "MappingError",
     "ExperimentError",
+    "TransientError",
+    "JobTimeoutError",
+    "WorkerCrashError",
+    "RetryExhaustedError",
+    "FAILURE_CLASSES",
+    "classify_failure",
 ]
 
 
@@ -59,3 +83,87 @@ class MappingError(ReproError):
 
 class ExperimentError(ReproError):
     """Malformed experiment specs or corrupted run directories."""
+
+
+class TransientError(ReproError):
+    """A failure expected to succeed on retry (I/O hiccup, resource pressure).
+
+    Raise this (or a subclass) from library code to mark a failure as
+    explicitly retryable; :func:`classify_failure` also treats
+    :class:`OSError` and :class:`MemoryError` as transient.
+    """
+
+
+class JobTimeoutError(TransientError):
+    """A job exceeded its deadline and was killed by the executor.
+
+    Transient by design: a deadline kill usually means contention or an
+    unlucky solve, so a *resumed* run retries the job — the executor
+    itself never re-dispatches a timed-out job within one batch.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died mid-job (kill signal, OOM reaper, hard crash).
+
+    Classified ``crash``: recovery happens at the executor level (pool
+    respawn + re-dispatch of unfinished jobs), not by per-job retry.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """Every allowed attempt of a transient-classified job failed.
+
+    Attributes
+    ----------
+    attempts:
+        How many attempts ran before giving up.
+    failure_class:
+        Classification of the final failure (always ``"transient"`` —
+        permanent failures are never retried to exhaustion).
+    last_error_type:
+        Exception class name of the final failure, for job records.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        failure_class: str = "transient",
+        last_error_type: str = "",
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.failure_class = failure_class
+        self.last_error_type = last_error_type
+
+
+#: The three failure classes :func:`classify_failure` sorts into.
+FAILURE_CLASSES = ("transient", "permanent", "crash")
+
+
+def classify_failure(error: BaseException) -> str:
+    """Sort any raised exception into transient / permanent / crash.
+
+    The contract the retry and recovery layers are built on:
+
+    * ``crash`` — :class:`WorkerCrashError` and
+      :class:`concurrent.futures.process.BrokenProcessPool`: the worker
+      is gone, so recovery is pool respawn + re-dispatch.
+    * ``transient`` — :class:`TransientError` (including
+      :class:`JobTimeoutError`), :class:`OSError` (I/O, connections,
+      interrupted syscalls), and :class:`MemoryError`: a retry may
+      succeed, so :class:`repro.batch.retry.RetryPolicy` applies.
+    * ``permanent`` — everything else, including every other
+      :class:`ReproError` (infeasible targets, malformed specs) and
+      :class:`RetryExhaustedError` itself: retrying cannot help.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    if isinstance(error, (WorkerCrashError, BrokenProcessPool)):
+        return "crash"
+    if isinstance(error, RetryExhaustedError):
+        return "permanent"
+    if isinstance(error, (TransientError, OSError, MemoryError)):
+        return "transient"
+    return "permanent"

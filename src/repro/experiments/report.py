@@ -106,10 +106,47 @@ def _job_row(
         "baseline",
         "error",
         "error_type",
+        "failure_class",
+        "attempts",
+        "retry_exhausted",
+        "executor_fault",
     ):
         if record.get(key) is not None:
             json_entry[key] = record[key]
     return row, json_entry
+
+
+def _fault_aggregates(records: List[Dict]) -> Dict[str, int]:
+    """Fault-tolerance totals over all job records (see docs/robustness.md).
+
+    Counts come from the records themselves (not process-local
+    counters), so they survive resume and cross process-pool workers.
+    """
+    jobs_retried = sum(1 for r in records if r.get("attempts", 1) > 1)
+    extra_attempts = sum(
+        r.get("attempts", 1) - 1 for r in records
+    )
+    timeouts = sum(
+        1 for r in records if r.get("error_type") == "JobTimeoutError"
+    )
+    crashes = sum(
+        1 for r in records if r.get("failure_class") == "crash"
+    )
+    retry_exhausted = sum(
+        1 for r in records if r.get("retry_exhausted")
+    )
+    executor_faults = sum(
+        1 for r in records if r.get("executor_fault")
+    )
+    totals = {
+        "jobs_retried": jobs_retried,
+        "extra_attempts": extra_attempts,
+        "timeouts": timeouts,
+        "crashes": crashes,
+        "retry_exhausted": retry_exhausted,
+        "executor_faults": executor_faults,
+    }
+    return {key: value for key, value in totals.items() if value}
 
 
 def _aggregates(records: List[Dict]) -> Dict[str, object]:
@@ -237,6 +274,9 @@ def generate_report(
         "aggregates": _aggregates(records),
         "jobs": job_payloads,
     }
+    fault = _fault_aggregates(records)
+    if fault:
+        payload["fault"] = fault
     headers = (
         ["job"]
         + axes

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import shutil
 import time
+import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -28,12 +29,15 @@ from repro.batch.compiler import (
 )
 from repro.batch.executors import resolve_executor
 from repro.batch.jobs import BatchJob
+from repro.batch.retry import RetryPolicy, call_with_retry
+from repro.errors import RetryExhaustedError, classify_failure
 from repro.experiments.spec import (
     ExperimentJob,
     ExperimentSpec,
     expand_sweep,
 )
 from repro.experiments.store import ArtifactStore
+from repro.testing.faults import fault_point
 
 __all__ = ["ExperimentRunner", "RunResult", "run_experiment"]
 
@@ -188,11 +192,19 @@ def execute_job(
     index: int = 0,
     seed: int = 0,
     snapshot_dir: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Dict[str, object]:
     """Run every stage of one resolved spec and return its job record.
 
     This is the unit of work the executors distribute; any exception is
     captured into a ``status="error"`` record rather than propagated.
+    The two failure statuses split cleanly: ``compile_failed`` means the
+    compiler *ran* and deterministically reported an infeasible target
+    (complete — never retried), while ``error`` means a stage raised
+    (retried now and on resume when the failure class is transient).
+    Every attempt rebuilds all stage sections from scratch, so a
+    retried-to-success record is bit-identical to a first-try success.
+
     ``snapshot_dir`` is the runner-managed incremental-compilation
     store the job's compiler uses unless the spec overrides
     ``compiler.snapshots``.
@@ -204,52 +216,93 @@ def execute_job(
         "seed": seed,
         "spec_hash": spec.spec_hash,
     }
-    try:
+
+    def _attempt() -> Dict[str, object]:
+        fault_point("runner.job")
+        sections: Dict[str, object] = {}
         job, flat_target, num_qubits = _build_workload(
             spec, job_id, snapshot_dir
         )
-        record["num_qubits"] = num_qubits
+        sections["num_qubits"] = num_qubits
         if spec.digital is not None and flat_target is not None:
-            record["digital"] = _digital_section(spec, flat_target)
+            sections["digital"] = _digital_section(spec, flat_target)
         if spec.baseline is not None:
-            record["baseline"] = _baseline_section(spec, job)
+            sections["baseline"] = _baseline_section(spec, job)
         result = compiler_for(job).compile_piecewise(job.target)
-        record["compile"] = _compile_section(result)
+        sections["compile"] = _compile_section(result)
         if not result.success or result.schedule is None:
-            record["status"] = "compile_failed"
-            record["seconds"] = time.perf_counter() - tick
-            return record
+            sections["status"] = "compile_failed"
+            return sections
         # Same guard and memoized helper as batch --verify: the hard cap
         # bounds state-vector cost no matter what the spec asks for.
         verify_cap = min(spec.verify_max_qubits, HARD_VERIFY_CAP)
         if spec.verify and num_qubits <= verify_cap:
-            record["fidelity"] = verify_fidelity(job, result)
+            sections["fidelity"] = verify_fidelity(job, result)
         if spec.simulation is not None:
-            record.update(
+            sections.update(
                 _simulation_sections(spec, result.schedule, seed)
             )
-        record["status"] = "ok"
-    except Exception as error:  # per-job isolation is the contract
+        sections["status"] = "ok"
+        return sections
+
+    outcome = call_with_retry(_attempt, retry, key=job_id)
+    if outcome.ok:
+        record.update(outcome.value)
+    else:  # per-job isolation is the contract
+        error = outcome.error
         record["status"] = "error"
         record["error"] = str(error)
         record["error_type"] = type(error).__name__
+        record["failure_class"] = outcome.failure_class
+        record["error_traceback"] = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )
+        if isinstance(error, RetryExhaustedError):
+            record["retry_exhausted"] = True
+    if outcome.attempts_used > 1:
+        record["attempts"] = outcome.attempts_used
+    if outcome.attempts:
+        record["failed_attempts"] = list(outcome.attempts)
     record["seconds"] = time.perf_counter() - tick
     return record
 
 
 def _execute_payload(
-    payload: Tuple[int, str, Dict, int, Optional[str]],
+    payload: Tuple[int, str, Dict, int, Optional[str], Optional[Dict]],
 ) -> Dict[str, object]:
     """Module-level worker so the process executor can pickle it."""
-    index, job_id, spec_dict, seed, snapshot_dir = payload
+    index, job_id, spec_dict, seed, snapshot_dir, policy_dict = payload
     spec = ExperimentSpec.from_dict(spec_dict)
+    retry = RetryPolicy(**policy_dict) if policy_dict else None
     return execute_job(
         spec,
         job_id=job_id,
         index=index,
         seed=seed,
         snapshot_dir=snapshot_dir,
+        retry=retry,
     )
+
+
+def _failure_record(
+    payload: Tuple[int, str, Dict, int, Optional[str], Optional[Dict]],
+    error: BaseException,
+) -> Dict[str, object]:
+    """Record for a job the *executor* failed (deadline kill, worker
+    crash surviving degradation) — the worker never got to build one."""
+    index, job_id, spec_dict, seed = payload[:4]
+    return {
+        "job_id": job_id,
+        "index": index,
+        "seed": seed,
+        "spec_hash": ExperimentSpec.from_dict(spec_dict).spec_hash,
+        "status": "error",
+        "error": str(error),
+        "error_type": type(error).__name__,
+        "failure_class": classify_failure(error),
+        "executor_fault": True,
+        "seconds": 0.0,
+    }
 
 
 @dataclass
@@ -271,6 +324,9 @@ class RunResult:
     records: List[Dict] = field(default_factory=list)
     executed: int = 0
     skipped: int = 0
+    #: Executor-level fault events of this invocation: ``timeouts``,
+    #: ``pool_respawns``, ``downgrades`` (see ``docs/robustness.md``).
+    fault: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_jobs(self) -> int:
@@ -319,6 +375,14 @@ class ExperimentRunner:
         compile family delta-compile instead of compiling cold, and
         the store survives across invocations for resumed runs.
         Specs can still override per-job via ``compiler.snapshots``.
+    retries:
+        Override the spec's ``execution.retries`` — extra attempts per
+        job after a transient failure (see ``docs/robustness.md``).
+    retry_backoff:
+        Override the spec's ``execution.retry_backoff`` base delay.
+    job_timeout:
+        Override the spec's ``execution.job_timeout`` per-job deadline
+        in seconds.
     """
 
     def __init__(
@@ -327,11 +391,17 @@ class ExperimentRunner:
         workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         snapshots: bool = True,
+        retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+        job_timeout: Optional[float] = None,
     ):
         self.executor = executor
         self.workers = workers
         self.chunksize = chunksize
         self.snapshots = bool(snapshots)
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.job_timeout = job_timeout
 
     def plan(self, spec: ExperimentSpec) -> List[ExperimentJob]:
         """The deterministic job list the sweep grid expands into."""
@@ -379,6 +449,27 @@ class ExperimentRunner:
             for job in jobs
             if force or not store.is_complete(job.job_id)
         ]
+        retries = (
+            self.retries
+            if self.retries is not None
+            else spec.execution.retries
+        )
+        retry_backoff = (
+            self.retry_backoff
+            if self.retry_backoff is not None
+            else spec.execution.retry_backoff
+        )
+        job_timeout = (
+            self.job_timeout
+            if self.job_timeout is not None
+            else spec.execution.job_timeout
+        )
+        policy_dict: Optional[Dict[str, object]] = None
+        if retries > 0:
+            policy_dict = {
+                "max_attempts": retries + 1,
+                "backoff": retry_backoff,
+            }
         executor = resolve_executor(
             self.executor
             if self.executor is not None
@@ -389,13 +480,16 @@ class ExperimentRunner:
             self.chunksize
             if self.chunksize is not None
             else spec.execution.chunksize,
+            job_timeout=job_timeout,
         )
         payloads = [
             (job.index, job.job_id, job.spec.to_dict(), job.seed,
-             snapshot_dir)
+             snapshot_dir, policy_dict)
             for job in pending
         ]
-        fresh = executor.run(_execute_payload, payloads)
+        fresh = executor.run(
+            _execute_payload, payloads, failure_result=_failure_record
+        )
         for record in fresh:
             store.write_job(record)
 
@@ -409,11 +503,17 @@ class ExperimentRunner:
                 else {"job_id": job.job_id, "index": job.index,
                       "status": "error", "error": "missing artifact"}
             )
+        fault = {
+            key: value
+            for key, value in executor.fault_events.items()
+            if value
+        }
         return RunResult(
             run_dir=Path(run_dir),
             records=records,
             executed=len(fresh),
             skipped=len(jobs) - len(fresh),
+            fault=fault,
         )
 
 
@@ -425,6 +525,9 @@ def run_experiment(
     chunksize: Optional[int] = None,
     force: bool = False,
     snapshots: bool = True,
+    retries: Optional[int] = None,
+    retry_backoff: Optional[float] = None,
+    job_timeout: Optional[float] = None,
 ) -> RunResult:
     """Convenience wrapper: run ``spec`` into ``run_dir`` in one call."""
     return ExperimentRunner(
@@ -432,4 +535,7 @@ def run_experiment(
         workers=workers,
         chunksize=chunksize,
         snapshots=snapshots,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        job_timeout=job_timeout,
     ).run(spec, run_dir, force=force)

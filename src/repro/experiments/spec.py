@@ -393,18 +393,34 @@ class ExecutionSpec:
     """How the expanded jobs are dispatched (maps to ``repro.batch``).
 
     ``chunksize`` groups jobs per process-pool dispatch so wide sweeps
-    amortize pickling; serial/thread executors ignore it.
+    amortize pickling; serial/thread executors ignore it.  The
+    fault-tolerance knobs (``retries``, ``retry_backoff``,
+    ``job_timeout``; see ``docs/robustness.md``) default to off so
+    pre-existing specs keep their spec hash — their defaults are
+    dropped from the canonical form.
     """
 
     executor: str = "serial"
     workers: Optional[int] = None
     chunksize: Optional[int] = None
+    retries: int = 0
+    retry_backoff: float = 0.05
+    job_timeout: Optional[float] = None
 
     @classmethod
     def from_dict(cls, section: Mapping) -> "ExecutionSpec":
         """Validate and build an :class:`ExecutionSpec` from a mapping."""
         _check_keys(
-            section, ("executor", "workers", "chunksize"), "execution"
+            section,
+            (
+                "executor",
+                "workers",
+                "chunksize",
+                "retries",
+                "retry_backoff",
+                "job_timeout",
+            ),
+            "execution",
         )
         executor = section.get("executor", "serial")
         _require(
@@ -424,7 +440,36 @@ class ExecutionSpec:
             f"execution.chunksize must be a positive integer, "
             f"got {chunksize!r}",
         )
-        return cls(executor=executor, workers=workers, chunksize=chunksize)
+        retries = section.get("retries", 0)
+        _require(
+            isinstance(retries, int) and retries >= 0,
+            f"execution.retries must be a non-negative integer, "
+            f"got {retries!r}",
+        )
+        retry_backoff = _as_float(
+            section.get("retry_backoff", 0.05), "execution.retry_backoff"
+        )
+        _require(
+            retry_backoff >= 0,
+            f"execution.retry_backoff must be >= 0 seconds, "
+            f"got {retry_backoff}",
+        )
+        job_timeout = section.get("job_timeout")
+        if job_timeout is not None:
+            job_timeout = _as_float(job_timeout, "execution.job_timeout")
+            _require(
+                job_timeout > 0,
+                f"execution.job_timeout must be positive seconds, "
+                f"got {job_timeout}",
+            )
+        return cls(
+            executor=executor,
+            workers=workers,
+            chunksize=chunksize,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            job_timeout=job_timeout,
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """The canonical mapping form (inverse of :meth:`from_dict`)."""
@@ -433,6 +478,14 @@ class ExecutionSpec:
             out["workers"] = self.workers
         if self.chunksize is not None:
             out["chunksize"] = self.chunksize
+        # Fault-tolerance defaults are omitted so pre-existing specs
+        # keep their spec hash (and resumable run directories).
+        if self.retries:
+            out["retries"] = self.retries
+        if self.retry_backoff != 0.05:
+            out["retry_backoff"] = self.retry_backoff
+        if self.job_timeout is not None:
+            out["job_timeout"] = self.job_timeout
         return out
 
 

@@ -16,18 +16,22 @@ stale artifacts can never leak into a new experiment.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.spec import ExperimentJob, ExperimentSpec
+from repro.testing.faults import fault_point
 
 __all__ = ["ArtifactStore"]
 
 #: Job statuses that count as "done" for resume purposes.  ``error``
-#: (an unexpected exception) is retried on the next run; a compiler
-#: that *reported* failure is a stable, reproducible outcome and is not.
+#: records are retried on the next run *unless* their recorded
+#: ``failure_class`` is ``permanent`` (retrying cannot help); a compiler
+#: that *reported* failure (``compile_failed``) is a stable,
+#: reproducible outcome and is never retried.
 _COMPLETE_STATUSES = ("ok", "compile_failed")
 
 
@@ -103,10 +107,23 @@ class ArtifactStore:
         return self.jobs_dir / f"{job_id}.json"
 
     def is_complete(self, job_id: str) -> bool:
-        """True when ``job_id`` already has a usable artifact on disk."""
+        """True when ``job_id`` already has a usable artifact on disk.
+
+        A torn/corrupt record reads as None and therefore incomplete —
+        a crash mid-write simply means that job is re-executed on
+        resume.  Errored jobs whose recorded ``failure_class`` is
+        ``permanent`` are complete too: re-running a permanent failure
+        reproduces it.
+        """
         record = self.read_job(job_id)
-        return record is not None and record.get("status") in (
-            _COMPLETE_STATUSES
+        if record is None:
+            return False
+        status = record.get("status")
+        if status in _COMPLETE_STATUSES:
+            return True
+        return (
+            status == "error"
+            and record.get("failure_class") == "permanent"
         )
 
     def read_job(self, job_id: str) -> Optional[Dict]:
@@ -120,14 +137,20 @@ class ArtifactStore:
             return None
 
     def write_job(self, record: Dict) -> None:
-        """Persist one job record (atomically, via a temp file)."""
+        """Persist one job record atomically (temp file + rename).
+
+        The temp name is pid-unique so concurrent writers of the same
+        run directory can never interleave partial content; readers see
+        either the old record or the new one, never a torn file.
+        """
         path = self.job_path(record["job_id"])
-        tmp = path.with_suffix(".json.tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         tmp.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
         tmp.replace(path)
+        fault_point("store.write_job", path=path)
 
     # ------------------------------------------------------------------
     def read_manifest(self) -> Dict:
@@ -156,10 +179,13 @@ class ArtifactStore:
         return records
 
     def write_report(self, payload: Dict) -> Path:
-        """Persist the aggregated report next to the manifest."""
+        """Persist the aggregated report atomically next to the manifest."""
         path = self.run_dir / self.REPORT
-        path.write_text(
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        tmp.replace(path)
+        fault_point("store.write_report", path=path)
         return path

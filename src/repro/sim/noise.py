@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.pulse.schedule import PulseSchedule
+from repro.testing.faults import fault_point
 from repro.sim.evolution import (
     evolve_schedule,
     evolve_schedule_block,
@@ -270,6 +271,7 @@ class NoisySimulator:
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Noisy bitstring samples, shape ``(shots, num_sites)``."""
+        fault_point("sim.run")
         if shots < 1:
             raise SimulationError("shots must be >= 1")
         rng = rng if rng is not None else np.random.default_rng(self.seed)

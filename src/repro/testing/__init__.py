@@ -1,0 +1,17 @@
+"""Deterministic testing utilities (fault injection harness).
+
+This subpackage is shipped with the library (not under ``tests/``)
+because production modules carry the :func:`repro.testing.faults.
+fault_point` hooks the harness drives — the hook must be importable
+wherever the library runs, and downstream users get the same
+fault-injection surface the in-repo suite uses.
+"""
+
+from repro.testing.faults import (
+    FAULT_SITES,
+    FaultRule,
+    fault_point,
+    inject_faults,
+)
+
+__all__ = ["FAULT_SITES", "FaultRule", "fault_point", "inject_faults"]

@@ -52,6 +52,8 @@ class TestErrorHierarchy:
     def test_all_derive_from_repro_error(self):
         for name in errors.__all__:
             cls = getattr(errors, name)
+            if not isinstance(cls, type):
+                continue  # classify_failure / FAILURE_CLASSES helpers
             assert issubclass(cls, errors.ReproError)
 
     def test_infeasible_is_compilation_error(self):

@@ -19,6 +19,10 @@ Four passes, all stdlib-only:
    declarations in core/pipeline/passes.py) must appear in its pass
    table, so a new pass cannot land without documenting what
    invalidates it.
+5. **Robustness contract** — docs/robustness.md must name (in
+   backticks) every export of repro/errors.py and every fault site in
+   repro/testing/faults.py, so the failure taxonomy and injection
+   surface cannot drift from their documentation.
 
 Exit status is the number of problems found.
 """
@@ -131,6 +135,65 @@ def check_pass_table(problems: list) -> None:
             )
 
 
+def _ast_string_list(path: Path, target: str) -> list:
+    """The string elements assigned to ``target`` at module level."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == target
+            for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            return [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+    return []
+
+
+def check_robustness_doc(problems: list) -> None:
+    """Pass 5: the failure taxonomy and fault sites stay documented.
+
+    docs/robustness.md owns the fault-tolerance contract: every name
+    exported by repro/errors.py and every fault site declared in
+    repro/testing/faults.py must appear there inside a backticked
+    span, so neither can change without the document following.
+    """
+    doc = REPO / "docs/robustness.md"
+    if not doc.exists():
+        problems.append("docs/robustness.md: missing (taxonomy contract)")
+        return
+    text = doc.read_text(encoding="utf-8")
+    # Drop fenced code blocks first — a ``` fence has an odd backtick
+    # count and would desynchronize the inline-span pairing below.
+    prose = re.sub(r"```.*?```", " ", text, flags=re.DOTALL)
+    spans = re.findall(r"`([^`]+)`", prose)
+    documented = " ".join(spans)
+    for origin, names in (
+        (
+            "repro/errors.py __all__",
+            _ast_string_list(REPO / "src/repro/errors.py", "__all__"),
+        ),
+        (
+            "repro/testing/faults.py FAULT_SITES",
+            _ast_string_list(
+                REPO / "src/repro/testing/faults.py", "FAULT_SITES"
+            ),
+        ),
+    ):
+        for name in names:
+            if name not in documented:
+                problems.append(
+                    f"docs/robustness.md: {name!r} from {origin} is "
+                    "not documented"
+                )
+
+
 def main() -> int:
     """Run all passes; print problems; return their count."""
     problems: list = []
@@ -138,6 +201,7 @@ def main() -> int:
     check_snippets(problems)
     check_docstrings(problems)
     check_pass_table(problems)
+    check_robustness_doc(problems)
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if not problems:
