@@ -39,6 +39,7 @@ from repro.testing.faults import fault_point
 __all__ = [
     "BatchCompiler",
     "HARD_VERIFY_CAP",
+    "coalesce_jobs",
     "compiler_for",
     "pass_cache_stats",
     "reset_worker_compilers",
@@ -103,6 +104,39 @@ def compiler_for(job: BatchJob) -> QTurboCompiler:
         while len(_WORKER_COMPILERS) > _WORKER_COMPILER_CAP:
             _WORKER_COMPILERS.popitem(last=False)
     return compiler
+
+
+def coalesce_jobs(jobs: Sequence[BatchJob]) -> List[BatchJob]:
+    """Reorder jobs so structurally similar compiles run back to back.
+
+    Jobs are grouped by ``(AAIS content, compiler options, target
+    structure digest)`` — the same key that decides whether two compiles
+    share a worker compiler, a linear-system cache entry, and a snapshot
+    *family*.  Groups keep first-submission order and jobs keep their
+    order within a group, so the reordering is deterministic.  Running a
+    group contiguously means the first member compiles cold (committing
+    the family donor) and every follower immediately delta-compiles or
+    hits the donor, instead of interleaving families and churning the
+    LRUs.  This is the request-coalescing hook the ``repro serve`` job
+    queue applies to each drained batch; results still come back in
+    submission order (see :meth:`BatchCompiler.compile_many`).
+    """
+    return [jobs[index] for index in _coalesced_order(jobs)]
+
+
+def _coalesced_order(jobs: Sequence[BatchJob]) -> List[int]:
+    """The submission indices of ``jobs`` in coalesced dispatch order."""
+    from repro.core.pipeline.delta import structure_digest
+
+    groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for index, job in enumerate(jobs):
+        key = (
+            _aais_digest(job.aais),
+            job.compiler_options,
+            structure_digest(job.target),
+        )
+        groups.setdefault(key, []).append(index)
+    return [index for group in groups.values() for index in group]
 
 
 def _merge_counters(bucket: dict, counters: dict) -> None:
@@ -352,16 +386,31 @@ class BatchCompiler:
         self.retry = retry
 
     # ------------------------------------------------------------------
-    def compile_many(self, jobs: Sequence[BatchJob]) -> BatchResult:
-        """Execute every job; outcomes come back in submission order."""
+    def compile_many(
+        self, jobs: Sequence[BatchJob], coalesce: bool = False
+    ) -> BatchResult:
+        """Execute every job; outcomes come back in submission order.
+
+        With ``coalesce=True`` the jobs are dispatched in
+        :func:`coalesce_jobs` order (structurally similar compiles run
+        adjacently, maximizing cache and snapshot reuse) — outcomes are
+        still returned in original submission order.
+        """
+        indexed = list(enumerate(jobs))
+        if coalesce:
+            indexed = [
+                (index, jobs[index]) for index in _coalesced_order(jobs)
+            ]
         payloads = [
             (index, job, self.verify, self.verify_max_qubits, self.retry)
-            for index, job in enumerate(jobs)
+            for index, job in indexed
         ]
         tick = time.perf_counter()
         outcomes: List[JobOutcome] = self.executor.run(
             _execute_payload, payloads, failure_result=_failure_outcome
         )
+        if coalesce:
+            outcomes = sorted(outcomes, key=lambda o: o.index)
         total = time.perf_counter() - tick
         retried = [o for o in outcomes if o.attempts > 1]
         fault = {

@@ -37,6 +37,14 @@ Commands
     resumable artifact directory — then print the aggregated report.
 ``report``
     Re-aggregate an existing run directory into a table / JSON report.
+``serve``
+    Start the long-running compile/simulate/run HTTP service
+    (:mod:`repro.service`) over a persistent shared store — warm
+    requests are served from the content-addressed result store and
+    cold ones coalesce into batched compiles (see ``docs/service.md``).
+``submit``
+    Submit one workload (or an experiment spec) to a running ``repro
+    serve`` instance and print the result.
 """
 
 from __future__ import annotations
@@ -291,6 +299,115 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("summary", "json"),
         default="summary",
         help="print the report table or the full report JSON",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="start the compile/simulate/run HTTP service over a "
+        "persistent shared store (see docs/service.md)",
+    )
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks a free one; the bound URL is printed)",
+    )
+    serve_cmd.add_argument(
+        "--data-dir",
+        default=".repro-service",
+        metavar="DIR",
+        help="persistent service state: results/, snapshots/, runs/",
+    )
+    serve_cmd.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default="serial",
+        help="batch executor for coalesced compiles",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, help="executor worker count"
+    )
+    serve_cmd.add_argument(
+        "--linger",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="how long the queue waits for more jobs before batching",
+    )
+    serve_cmd.add_argument(
+        "--batch-max", type=int, default=64, help="max jobs per batch"
+    )
+    serve_cmd.add_argument(
+        "--max-families", type=int, default=None,
+        help="snapshot-store GC cap: keep at most this many families",
+    )
+    serve_cmd.add_argument(
+        "--max-store-bytes", type=int, default=None,
+        help="snapshot-store GC cap: keep at most this many bytes",
+    )
+    serve_cmd.add_argument(
+        "--max-results", type=int, default=None,
+        help="result-store GC cap: keep at most this many records",
+    )
+    serve_cmd.add_argument(
+        "--max-result-bytes", type=int, default=None,
+        help="result-store GC cap: keep at most this many bytes",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit",
+        help="submit one workload (or an experiment spec) to a running "
+        "'repro serve' instance",
+    )
+    submit_cmd.add_argument(
+        "spec",
+        nargs="?",
+        help="experiment spec (YAML/JSON) to submit as a run job; "
+        "omit to submit a single workload via --model/--hamiltonian",
+    )
+    workload = submit_cmd.add_mutually_exclusive_group()
+    workload.add_argument(
+        "--model", help=f"registered model name ({', '.join(model_names())})"
+    )
+    workload.add_argument(
+        "--hamiltonian",
+        help='textual Hamiltonian, e.g. "Z0*Z1 + X0 + X1"',
+    )
+    submit_cmd.add_argument(
+        "-n", "--qubits", type=int, default=3, help="system size"
+    )
+    submit_cmd.add_argument(
+        "-t", "--time", type=float, default=1.0, help="target time (µs)"
+    )
+    submit_cmd.add_argument(
+        "--device",
+        choices=DEVICE_PRESETS,
+        default="rydberg-1d",
+        help="target device preset",
+    )
+    submit_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8765",
+        help="base URL of the running service",
+    )
+    submit_cmd.add_argument(
+        "--simulate",
+        action="store_true",
+        help="submit as a simulate job (compile + noisy observables)",
+    )
+    submit_cmd.add_argument(
+        "--shots", type=int, default=1000,
+        help="measurement shots for --simulate",
+    )
+    submit_cmd.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return the job descriptor immediately instead of blocking",
+    )
+    submit_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="server-side wait budget before a 202 descriptor comes back",
     )
     return parser
 
@@ -708,14 +825,91 @@ def _command_cache_stats(args: argparse.Namespace) -> int:
     }
     if args.snapshot_dir:
         # Scan a store left on disk by an earlier process (the live
-        # counters above only see stores opened in this one).
+        # counters above only see stores opened in this one).  The deep
+        # scan verifies blob digests, so families whose blobs were
+        # GC'd or scribbled report as "degraded", not usable.
         from repro.core.pipeline import SnapshotStore
 
         payload["snapshot_disk"] = SnapshotStore(
             args.snapshot_dir
-        ).disk_stats()
+        ).disk_stats(deep=True)
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReproService, ServiceConfig
+
+    service = ReproService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            data_dir=args.data_dir,
+            executor=args.executor,
+            workers=args.workers,
+            linger=args.linger,
+            batch_max=args.batch_max,
+            max_families=args.max_families,
+            max_store_bytes=args.max_store_bytes,
+            max_results=args.max_results,
+            max_result_bytes=args.max_result_bytes,
+        )
+    )
+    # The e2e harness parses this line for the bound URL — keep the
+    # "serving on " prefix stable.
+    print(f"serving on {service.url}", flush=True)
+    print(f"data dir: {service.state.data_dir}", flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    provided = [
+        name
+        for name, value in (
+            ("spec", args.spec),
+            ("--model", args.model),
+            ("--hamiltonian", args.hamiltonian),
+        )
+        if value
+    ]
+    if len(provided) != 1:
+        raise CLIUsageError(
+            "provide exactly one of: a spec path, --model, or "
+            f"--hamiltonian (got {provided or 'none'})"
+        )
+    if args.spec:
+        from repro.experiments import load_spec
+
+        kind = "run"
+        request = {"spec": load_spec(args.spec).to_dict()}
+    else:
+        kind = "simulate" if args.simulate else "compile"
+        request = {
+            "qubits": args.qubits,
+            "time": args.time,
+            "device": args.device,
+        }
+        if args.model:
+            request["model"] = args.model
+        else:
+            request["hamiltonian"] = args.hamiltonian
+        if args.simulate:
+            request["shots"] = args.shots
+    client = ServiceClient(args.url)
+    payload = client.submit(
+        kind, request, wait=not args.no_wait, timeout=args.timeout
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    job = payload.get("job", {})
+    return 0 if job.get("status") in ("done", "queued", "running") else 1
 
 
 class CLIUsageError(Exception):
@@ -735,6 +929,8 @@ def main(argv: Optional[list] = None) -> int:
         "cache-stats": _command_cache_stats,
         "run": _command_run,
         "report": _command_report,
+        "serve": _command_serve,
+        "submit": _command_submit,
     }
     try:
         return handlers[args.command](args)

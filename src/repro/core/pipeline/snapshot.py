@@ -30,6 +30,25 @@ interleaved commits converge on the same content.  A corrupt or missing
 blob is counted in :meth:`SnapshotStore.stats` and makes the caller
 fall back to a cold compile (which re-commits the family).
 
+Shared-store mode (cross-process)
+---------------------------------
+One store root may be shared by many processes and tenants at once —
+the ``repro serve`` service points every request's compiler at a single
+root so warm pass-pipeline prefixes survive restarts.  Three additions
+make that safe beyond the per-run case:
+
+* ``family.json`` records each blob's byte size and content digest, so
+  :meth:`verify_family` can tell a *complete* family from a *degraded*
+  one (blobs GC'd or torn by a crashed writer) without unpickling.
+* :meth:`gc` evicts families oldest-first under byte/count/age caps.
+  Eviction deletes ``family.json`` *first* (the reverse of the commit
+  order), so a concurrent reader either sees the commit marker gone —
+  and compiles cold — or holds blobs that are still intact.
+* :meth:`disk_stats` counts degraded families separately, so
+  ``repro cache-stats --snapshot-dir`` reports a family whose marker
+  survived but whose blobs did not as ``degraded`` rather than silently
+  present.
+
 The store follows the same artifact idiom as
 :class:`repro.experiments.store.ArtifactStore`; experiment runs place
 their snapshot root inside the run directory (``<run-dir>/snapshots``)
@@ -39,11 +58,13 @@ together with the run's artifacts on ``--force``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import shutil
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -67,6 +88,14 @@ _BLOB_ERRORS = (
     ImportError,
     MemoryError,
 )
+
+def _blob_entry(blob: bytes) -> Dict[str, object]:
+    """Integrity manifest entry (size + content digest) for one blob."""
+    return {
+        "bytes": len(blob),
+        "digest": hashlib.blake2b(blob, digest_size=16).hexdigest(),
+    }
+
 
 #: Live stores created in this process, for aggregate cache statistics
 #: (mirrors how the batch layer aggregates compiler caches).
@@ -105,6 +134,7 @@ class SnapshotStore:
             "hits_delta": 0,
             "invalid": 0,
             "commits": 0,
+            "gc_families": 0,
         }
         self._reentry: Dict[str, int] = {}
         with _LIVE_STORES_LOCK:
@@ -253,11 +283,15 @@ class SnapshotStore:
         """
         directory = self.family_dir(family)
         directory.mkdir(parents=True, exist_ok=True)
+        manifest: Dict[str, Dict[str, object]] = {}
         for index, (pass_name, blob) in enumerate(unit_blobs):
-            self._atomic_write(
-                self._unit_path(family, index, pass_name), blob
-            )
+            path = self._unit_path(family, index, pass_name)
+            manifest[path.name] = _blob_entry(blob)
+            self._atomic_write(path, blob)
+        manifest[self.SHARED] = _blob_entry(shared_blob)
         self._atomic_write(directory / self.SHARED, shared_blob)
+        meta = dict(meta)
+        meta["blobs"] = manifest
         payload = json.dumps(meta, indent=2, sort_keys=True) + "\n"
         self._atomic_write(
             directory / self.META, payload.encode("utf-8")
@@ -288,6 +322,170 @@ class SnapshotStore:
                 del _SHARED_MEMO[key]
 
     # ------------------------------------------------------------------
+    # Shared-store health and eviction
+    # ------------------------------------------------------------------
+    def _expected_blobs(self, meta: Dict) -> Dict[str, Optional[Dict]]:
+        """Blob filenames a committed family must hold, with integrity info.
+
+        Families committed since the integrity manifest landed carry a
+        ``blobs`` section (filename → size + digest); older families
+        fall back to the names implied by the ``passes`` list, with no
+        size/digest to check (existence only).
+        """
+        manifest = meta.get("blobs")
+        if isinstance(manifest, dict) and manifest:
+            return dict(manifest)
+        expected: Dict[str, Optional[Dict]] = {self.SHARED: None}
+        for index, pass_name in enumerate(meta.get("passes", [])):
+            expected[f"after-{index:02d}-{pass_name}.pkl"] = None
+        return expected
+
+    def verify_family(self, family: str, deep: bool = False) -> str:
+        """Health of one family: ``absent`` | ``complete`` | ``degraded``.
+
+        ``degraded`` means ``family.json`` exists (so a naive directory
+        scan would count the family as present) but at least one blob it
+        promises is missing, has the wrong size, or — with ``deep=True``
+        — fails its recorded content digest.  Degraded families are
+        harmless to readers (every load falls back to a cold compile)
+        but they serve no hits; GC or a re-commit heals them.
+        """
+        directory = self.family_dir(family)
+        if not directory.is_dir():
+            return "absent"
+        meta = self.read_meta(family)
+        if meta is None:
+            return "degraded"
+        for name, entry in self._expected_blobs(meta).items():
+            path = directory / name
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return "degraded"
+            if entry is None:
+                continue
+            if size != entry.get("bytes"):
+                return "degraded"
+            if deep:
+                try:
+                    digest = hashlib.blake2b(
+                        path.read_bytes(), digest_size=16
+                    ).hexdigest()
+                except OSError:
+                    return "degraded"
+                if digest != entry.get("digest"):
+                    return "degraded"
+        return "complete"
+
+    def families(self) -> List[str]:
+        """Every family directory currently present under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.root.iterdir() if entry.is_dir()
+        )
+
+    def _family_profile(self, family: str) -> Tuple[float, int]:
+        """``(created, bytes)`` of one family for eviction ordering."""
+        directory = self.family_dir(family)
+        meta = self.read_meta(family)
+        created = None
+        if meta is not None and isinstance(meta.get("created"), (int, float)):
+            created = float(meta["created"])
+        size = 0
+        for blob in directory.iterdir():
+            if blob.suffix == ".tmp":
+                continue
+            try:
+                stat = blob.stat()
+            except OSError:
+                continue
+            size += stat.st_size
+            if created is None:
+                created = stat.st_mtime
+        return (created if created is not None else 0.0, size)
+
+    def evict_family(self, family: str) -> None:
+        """Remove one family, commit-marker first.
+
+        Deleting ``family.json`` before the blobs is the reverse of the
+        commit order: a concurrent reader either sees the marker gone
+        (and compiles cold) or loaded the marker while the blobs were
+        still intact.  A reader that raced the blob deletion hits the
+        ordinary corrupt-blob fallback.
+        """
+        directory = self.family_dir(family)
+        try:
+            (directory / self.META).unlink()
+        except OSError:
+            pass
+        shutil.rmtree(directory, ignore_errors=True)
+        root = str(self.root)
+        with _SHARED_MEMO_LOCK:
+            for key in [
+                k for k in _SHARED_MEMO if k[0] == root and k[1] == family
+            ]:
+                del _SHARED_MEMO[key]
+
+    def gc(
+        self,
+        max_families: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Evict families oldest-first until the store fits its caps.
+
+        Degraded families (commit marker without usable blobs) are
+        always evicted — they cost disk and serve nothing.  Healthy
+        families are then dropped oldest-first (by their ``created``
+        commit stamp) while the store exceeds ``max_families`` /
+        ``max_bytes``, and any family older than ``max_age_seconds``
+        goes regardless.  Returns eviction counts; safe to run while
+        readers and writers are active (see :meth:`evict_family`).
+        """
+        if now is None:
+            now = time.time()
+        evicted = degraded = 0
+        profiles: List[Tuple[float, int, str]] = []
+        for family in self.families():
+            if self.verify_family(family) == "degraded":
+                self.evict_family(family)
+                degraded += 1
+                continue
+            created, size = self._family_profile(family)
+            profiles.append((created, size, family))
+        profiles.sort()
+        if max_age_seconds is not None:
+            keep = []
+            for created, size, family in profiles:
+                if now - created > max_age_seconds:
+                    self.evict_family(family)
+                    evicted += 1
+                else:
+                    keep.append((created, size, family))
+            profiles = keep
+        total_bytes = sum(size for _, size, _ in profiles)
+        while profiles and (
+            (max_families is not None and len(profiles) > max_families)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            _, size, family = profiles.pop(0)
+            self.evict_family(family)
+            total_bytes -= size
+            evicted += 1
+        with self._lock:
+            self._counters["gc_families"] = (
+                self._counters.get("gc_families", 0) + evicted + degraded
+            )
+        return {
+            "evicted": evicted,
+            "degraded_removed": degraded,
+            "kept": len(profiles),
+            "bytes_kept": total_bytes,
+        }
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def _count(self, key: str) -> None:
@@ -299,20 +497,40 @@ class SnapshotStore:
         with self._lock:
             self._reentry[pass_name] = self._reentry.get(pass_name, 0) + 1
 
-    def disk_stats(self) -> Dict[str, int]:
-        """What the store currently holds on disk (families, blobs, bytes)."""
-        families = blobs = size = 0
+    def disk_stats(self, deep: bool = False) -> Dict[str, int]:
+        """What the store currently holds on disk.
+
+        ``families`` counts only families whose commit marker *and*
+        every promised blob check out (:meth:`verify_family`); a family
+        whose ``family.json`` survived but whose blobs were GC'd or
+        torn is counted under ``degraded`` instead — it will serve no
+        hits until re-committed.  ``deep=True`` additionally verifies
+        each blob's recorded content digest (reads every byte; the
+        ``repro cache-stats --snapshot-dir`` disk scan uses this).
+        """
+        families = degraded = blobs = size = 0
         if self.root.is_dir():
             for entry in self.root.iterdir():
                 if not entry.is_dir():
                     continue
-                families += 1
+                if self.verify_family(entry.name, deep=deep) == "complete":
+                    families += 1
+                else:
+                    degraded += 1
                 for blob in entry.iterdir():
                     if blob.suffix == ".tmp":
                         continue
                     blobs += 1
-                    size += blob.stat().st_size
-        return {"families": families, "blobs": blobs, "bytes": size}
+                    try:
+                        size += blob.stat().st_size
+                    except OSError:
+                        continue
+        return {
+            "families": families,
+            "degraded": degraded,
+            "blobs": blobs,
+            "bytes": size,
+        }
 
     def stats(self) -> Dict[str, object]:
         """Counters plus disk usage, in the cache-stats report schema.
@@ -354,21 +572,29 @@ def snapshot_cache_stats() -> Dict[str, object]:
         "hits_delta": 0,
         "invalid": 0,
         "commits": 0,
+        "gc_families": 0,
         "reentry": {},
-        "disk": {"families": 0, "blobs": 0, "bytes": 0},
+        "disk": {"families": 0, "degraded": 0, "blobs": 0, "bytes": 0},
     }
     seen_roots = set()
     for store in stores:
         stats = store.stats()
-        for key in ("misses", "hits_identical", "hits_delta", "invalid", "commits"):
-            totals[key] += stats[key]
+        for key in (
+            "misses",
+            "hits_identical",
+            "hits_delta",
+            "invalid",
+            "commits",
+            "gc_families",
+        ):
+            totals[key] += stats.get(key, 0)
         for name, count in stats["reentry"].items():
             totals["reentry"][name] = totals["reentry"].get(name, 0) + count
         root = stats["root"]
         if root not in seen_roots:
             seen_roots.add(root)
             for key, value in stats["disk"].items():
-                totals["disk"][key] += value
+                totals["disk"][key] = totals["disk"].get(key, 0) + value
     return totals
 
 

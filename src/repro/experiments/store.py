@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -25,7 +26,29 @@ from repro.errors import ExperimentError
 from repro.experiments.spec import ExperimentJob, ExperimentSpec
 from repro.testing.faults import fault_point
 
-__all__ = ["ArtifactStore"]
+__all__ = ["ArtifactStore", "atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (unique temp + rename).
+
+    The temp name is pid- *and* thread-unique so concurrent writers of
+    one path can never interleave partial content or steal each
+    other's temp file; readers see either the old file or the new one,
+    never a torn write.  This is the one write discipline every
+    on-disk store in the repo follows — the snapshot store, the
+    artifact store, and the service result store.
+    """
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+    )
+    tmp.write_bytes(payload)
+    tmp.replace(path)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` (UTF-8) to ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 #: Job statuses that count as "done" for resume purposes.  ``error``
 #: records are retried on the next run *unless* their recorded
@@ -96,9 +119,9 @@ class ArtifactStore:
                 for job in jobs
             ],
         }
-        manifest_path.write_text(
+        atomic_write_text(
+            manifest_path,
             json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
 
     # ------------------------------------------------------------------
@@ -144,12 +167,9 @@ class ArtifactStore:
         either the old record or the new one, never a torn file.
         """
         path = self.job_path(record["job_id"])
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(
-            json.dumps(record, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        atomic_write_text(
+            path, json.dumps(record, indent=2, sort_keys=True) + "\n"
         )
-        tmp.replace(path)
         fault_point("store.write_job", path=path)
 
     # ------------------------------------------------------------------
@@ -181,11 +201,8 @@ class ArtifactStore:
     def write_report(self, payload: Dict) -> Path:
         """Persist the aggregated report atomically next to the manifest."""
         path = self.run_dir / self.REPORT
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
-        tmp.replace(path)
         fault_point("store.write_report", path=path)
         return path

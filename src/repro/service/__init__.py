@@ -1,0 +1,33 @@
+"""Compilation-as-a-service: ``repro serve`` and its client.
+
+The service turns the one-shot CLI pipeline into a long-running
+process with a persistent, shared, content-addressed store:
+
+* :mod:`repro.service.app` — HTTP server, config, execution state;
+* :mod:`repro.service.routes` — the (small) HTTP surface;
+* :mod:`repro.service.queue` — digest-deduplicating batch job queue;
+* :mod:`repro.service.store` — persistent content-addressed results;
+* :mod:`repro.service.client` — stdlib client (``repro submit``).
+
+See ``docs/service.md`` for the protocol, store layout, and GC policy.
+"""
+
+from repro.service.app import ReproService, ServiceConfig, ServiceState
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.queue import Job, JobQueue
+from repro.service.routes import ROUTE_PATHS, ServiceError
+from repro.service.store import ResultStore, job_digest
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ReproService",
+    "ResultStore",
+    "ROUTE_PATHS",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceState",
+    "job_digest",
+]

@@ -1,0 +1,129 @@
+"""A stdlib HTTP client for ``repro serve``.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` — no new
+dependencies — and mirrors the routes in
+:mod:`repro.service.routes`.  It is what ``repro submit`` and the e2e
+test suite use to talk to a running service.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(ReproError):
+    """A request the service rejected or could not serve.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code, or None when the service was unreachable.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8765``.
+    timeout:
+        Socket timeout per request (seconds).  Synchronous submissions
+        can block for the whole compile, so this defaults generously.
+    """
+
+    def __init__(self, url: str, timeout: float = 600.0):
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            # 202 (accepted, still running) and 500-with-job (failed
+            # job) carry real payloads; plain errors carry {"error"}.
+            if error.code == 202 or "job" in payload:
+                return payload
+            message = payload.get("error", str(error))
+            raise ServiceClientError(
+                f"service rejected {method} {path}: {message}",
+                status=error.code,
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                f"cannot reach service at {self.url}: {error.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        """``GET /v1/health``."""
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict:
+        """``GET /v1/stats``."""
+        return self._request("GET", "/v1/stats")
+
+    def job(self, job_id: str) -> Dict:
+        """``GET /v1/jobs/<job_id>``."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def submit(
+        self,
+        kind: str,
+        request: Dict,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Dict:
+        """Submit one job; returns the response payload.
+
+        With ``wait`` (default) the call blocks until the job finishes
+        (or the server-side timeout elapses → the 202 descriptor).
+        """
+        body = dict(request)
+        body["wait"] = wait
+        if timeout is not None:
+            body["timeout"] = timeout
+        return self._request("POST", f"/v1/{kind}", body)
+
+    def compile(self, request: Dict, **kwargs) -> Dict:
+        """``POST /v1/compile``."""
+        return self.submit("compile", request, **kwargs)
+
+    def simulate(self, request: Dict, **kwargs) -> Dict:
+        """``POST /v1/simulate``."""
+        return self.submit("simulate", request, **kwargs)
+
+    def run(self, request: Dict, **kwargs) -> Dict:
+        """``POST /v1/run``."""
+        return self.submit("run", request, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient({self.url!r})"

@@ -1,0 +1,189 @@
+"""The service's persistent content-addressed result store.
+
+One store root holds one JSON record per *job digest* — the canonical
+content hash of a request (see :func:`job_digest`) — sharded by digest
+prefix so directories stay small::
+
+    <root>/
+      ab/
+        ab3f...e1.json    # {"digest", "kind", "request", "result", ...}
+      c0/
+        c04d...92.json
+
+The digest is both the key and the integrity check: a record is only
+served when the digest stored *inside* the payload matches the digest
+it was looked up under, so a torn or scribbled file degrades to a miss
+(and a recompute) instead of serving a wrong result.  All writes are
+atomic (:func:`repro.experiments.store.atomic_write_bytes`), and
+concurrent writers of the same digest are safe by determinism — equal
+requests produce equal records, so interleaved commits converge.
+
+This is the OpenREIL "database as IR storage" move applied to compiled
+results: because the key is a content digest of the request (not a
+sequence number or a tenant id), every tenant of a shared store warms
+every other tenant, and a restarted service starts with yesterday's
+cache instead of a cold one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.experiments.store import atomic_write_text
+from repro.testing.faults import fault_point
+
+__all__ = ["ResultStore", "job_digest"]
+
+
+def job_digest(kind: str, request: Dict) -> str:
+    """The content-addressed job id of one service request.
+
+    Canonical JSON (sorted keys, no whitespace variance) of the request
+    plus its kind, hashed with blake2b.  Two requests share a digest iff
+    they are semantically identical, which is what makes digest-keyed
+    dedup ("never compile the same thing twice") and cross-restart warm
+    hits sound.
+    """
+    payload = json.dumps(
+        {"kind": kind, "request": request},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+class ResultStore:
+    """Read/write access to one content-addressed result root.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the sharded records; created lazily on the
+        first :meth:`store`.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "writes": 0,
+            "gc_evicted": 0,
+        }
+
+    def path_for(self, digest: str) -> Path:
+        """Where the record for ``digest`` lives."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, digest: str) -> Optional[Dict]:
+        """The stored record for ``digest``, or None on miss/corruption.
+
+        A record whose embedded digest does not match the requested one
+        (torn write, scribbled blob, hand-edited file) counts as
+        ``corrupt`` and reads as a miss — the caller recomputes and
+        re-commits, healing the store.
+        """
+        path = self.path_for(digest)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            self._count("corrupt")
+            return None
+        if not isinstance(record, dict) or record.get("digest") != digest:
+            self._count("corrupt")
+            return None
+        self._count("hits")
+        return record
+
+    def store(self, digest: str, record: Dict) -> Path:
+        """Persist one job record atomically under its digest."""
+        record = dict(record)
+        record["digest"] = digest
+        record.setdefault("stored_at", time.time())
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        fault_point("service.result", path=path)
+        self._count("writes")
+        return path
+
+    # ------------------------------------------------------------------
+    def _records(self) -> List[Tuple[float, int, Path]]:
+        """``(mtime, bytes, path)`` of every record on disk."""
+        records = []
+        if not self.root.is_dir():
+            return records
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                records.append((stat.st_mtime, stat.st_size, path))
+        return records
+
+    def gc(
+        self,
+        max_results: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Evict records oldest-first until the store fits its caps."""
+        records = sorted(self._records())
+        total = sum(size for _, size, _ in records)
+        evicted = 0
+        while records and (
+            (max_results is not None and len(records) > max_results)
+            or (max_bytes is not None and total > max_bytes)
+        ):
+            _, size, path = records.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        with self._lock:
+            self._counters["gc_evicted"] += evicted
+        return {"evicted": evicted, "kept": len(records), "bytes_kept": total}
+
+    # ------------------------------------------------------------------
+    def _count(self, key: str) -> None:
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + 1
+
+    def disk_stats(self) -> Dict[str, int]:
+        """What the store currently holds on disk (records, bytes)."""
+        records = self._records()
+        return {
+            "records": len(records),
+            "bytes": sum(size for _, size, _ in records),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Lookup/write counters plus disk usage."""
+        with self._lock:
+            counters = dict(self._counters)
+        stats: Dict[str, object] = dict(counters)
+        stats["disk"] = self.disk_stats()
+        stats["root"] = str(self.root)
+        return stats
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"

@@ -66,6 +66,7 @@ FAULT_SITES = (
     "store.write_job",  # repro.experiments.store — after a job record lands
     "store.write_report",  # repro.experiments.store — after report.json lands
     "snapshot.blob",  # repro.core.pipeline.snapshot — after each blob lands
+    "service.result",  # repro.service.store — after a result record lands
 )
 
 _ENV_KEY = "REPRO_FAULT_PLAN"

@@ -324,3 +324,51 @@ def test_delta_compile_matches_seed_compiler(model, device, tmp_path):
     assert delta.incremental is not None
     assert delta.incremental["mode"] == "delta"
     _assert_identical(delta, _seed_compile(aais, point))
+
+
+# ----------------------------------------------------------------------
+# Warm service store ≡ cold in-process compiler
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def warm_service(tmp_path_factory):
+    """One in-process service shared by the differential sweep below."""
+    from repro.service import ReproService, ServiceClient, ServiceConfig
+
+    data_dir = tmp_path_factory.mktemp("service")
+    with ReproService(ServiceConfig(port=0, data_dir=data_dir)) as service:
+        yield ServiceClient(service.url)
+
+
+@pytest.mark.parametrize("device", DEVICES)
+@pytest.mark.parametrize("model", model_names())
+def test_warm_service_schedule_matches_cold_compiler(
+    model, device, warm_service
+):
+    """A schedule served from the persistent store is bit-identical to
+    a cold in-process compile of the same workload.
+
+    The first submission executes through the service's shared snapshot
+    store and persists the result; the second must come back from the
+    store (``source == "store"``) — and both must equal what a fresh
+    ``QTurboCompiler`` produces offline, modulo nothing: JSON float
+    serialization round-trips exactly, so the comparison is exact.
+    """
+    import json as _json
+
+    qubits = _MIN_QUBITS.get(model, QUBITS)
+    request = {
+        "model": model, "qubits": qubits, "time": 1.0, "device": device
+    }
+    cold = warm_service.compile(request)
+    warm = warm_service.compile(request)
+    assert warm["job"]["source"] == "store"
+    assert warm["result"]["schedule"] == cold["result"]["schedule"]
+
+    target = build_model(model, qubits)
+    aais = aais_for_device(device, max(qubits, target.num_qubits()))
+    offline = QTurboCompiler(aais).compile_piecewise(
+        PiecewiseHamiltonian.constant(target, 1.0)
+    )
+    expected = _json.loads(_json.dumps(offline.schedule.to_dict()))
+    assert warm["result"]["schedule"] == expected
+    assert warm["result"]["execution_time_us"] == offline.execution_time

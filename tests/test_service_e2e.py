@@ -1,0 +1,152 @@
+"""End-to-end smoke test: ``repro serve`` as a real subprocess.
+
+Boots the service exactly as a user would (``python -m repro serve``),
+drives it with :class:`ServiceClient` over a real socket, and checks
+the service's answers against the offline CLI paths: a ``run`` job's
+report must carry the same aggregate fields as ``repro run`` on the
+same spec, and a warm resubmission must be served from the store
+without recompiling.  This is the test CI runs under a hard timeout —
+a wedged queue or a serve process that never binds fails fast.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError
+
+SPEC = {
+    "name": "e2e-smoke",
+    "model": {"name": "ising_chain", "qubits": 2},
+    "device": "rydberg-1d",
+    "time": 1.0,
+    "sweep": {"time": [0.8, 1.0]},
+    "simulation": {"shots": 100, "noise_samples": 2},
+}
+
+
+@pytest.fixture()
+def serve_proc(tmp_path):
+    """A real ``repro serve`` subprocess bound to an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [
+            os.path.join(os.path.dirname(__file__), "..", "src"),
+            env.get("PYTHONPATH", ""),
+        ])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--data-dir", str(tmp_path / "service"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("serving on "), (
+            f"serve did not bind: {line!r} / {proc.stderr.read()!r}"
+        )
+        url = line.split()[-1]
+        yield proc, url
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=15)
+
+
+def test_serve_subprocess_end_to_end(serve_proc, tmp_path):
+    proc, url = serve_proc
+    client = ServiceClient(url)
+
+    health = client.health()
+    assert health["status"] == "ok"
+
+    # --- a compile round trip over the real socket -------------------
+    compile_request = {"model": "ising_chain", "qubits": 3, "time": 1.0}
+    cold = client.compile(compile_request)
+    assert cold["job"]["status"] == "done"
+    warm = client.compile(compile_request)
+    assert warm["job"]["source"] == "store"
+    assert warm["result"]["schedule"] == cold["result"]["schedule"]
+
+    # --- a sweep run, answered by the service ------------------------
+    served = client.run({"spec": SPEC})
+    assert served["job"]["status"] == "done"
+    report = served["result"]["report"]
+    assert served["result"]["executed"] == report["num_jobs"]
+
+    # --- the same spec through the offline CLI -----------------------
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(SPEC))
+    out_dir = tmp_path / "offline-run"
+    offline = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "run", str(spec_path),
+            "--out", str(out_dir), "--output", "json",
+        ],
+        capture_output=True,
+        text=True,
+        env=dict(
+            os.environ,
+            PYTHONPATH=os.path.join(
+                os.path.dirname(__file__), "..", "src"
+            ),
+        ),
+    )
+    assert offline.returncode == 0, offline.stderr
+    offline_report = json.loads(offline.stdout)
+
+    # The service's report must agree with the offline run on every
+    # deterministic aggregate (job plan, compile metrics, observables —
+    # simulation is seeded, so even those match).
+    assert report["num_jobs"] == offline_report["num_jobs"]
+    assert report["num_ok"] == offline_report["num_ok"]
+    assert report["spec_hash"] == offline_report["spec_hash"]
+
+    def deterministic(aggregates):
+        # Wall-clock aggregates (pass timings, compile seconds) vary
+        # run to run; everything else must match exactly.
+        return {
+            key: value
+            for key, value in aggregates.items()
+            if "seconds" not in key
+        }
+
+    assert deterministic(report["aggregates"]) == deterministic(
+        offline_report["aggregates"]
+    )
+
+    # --- resubmission is a store hit, not a re-run -------------------
+    again = client.run({"spec": SPEC})
+    assert again["job"]["source"] == "store"
+    assert again["result"]["report"] == report
+
+    stats = client.stats()
+    assert stats["service"]["store_hits"] >= 2
+    assert stats["queue"]["failed"] == 0
+
+
+def test_serve_rejects_garbage_without_dying(serve_proc):
+    proc, url = serve_proc
+    client = ServiceClient(url)
+    with pytest.raises(ServiceClientError) as exc:
+        client.compile({"model": "no-such-model"})
+    assert exc.value.status == 400
+    with pytest.raises(ServiceClientError) as exc:
+        client.job("not-a-digest")
+    assert exc.value.status == 404
+    # The process survives bad input and keeps serving.
+    assert proc.poll() is None
+    assert client.health()["status"] == "ok"

@@ -1,0 +1,245 @@
+"""Property-based round-trip suite for service-store serialization.
+
+The service's warm-hit guarantee rests on one invariant: a workload's
+canonical serialization — and therefore its content digest — is
+*bit-identical* across serialize → store → load → fingerprint cycles
+and across OS processes.  These tests drive that invariant with
+randomized inputs (hypothesis) instead of hand-picked examples:
+random :class:`PauliString`/:class:`Hamiltonian`/`ExperimentSpec`
+values survive the full JSON + :class:`ResultStore` round trip with
+unchanged stable hashes, and a fresh interpreter recomputes the same
+digests from the serialized form.
+
+Requires the ``test`` extra (``pip install -e .[test]``); skipped when
+hypothesis is unavailable.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.experiments.spec import ExperimentSpec  # noqa: E402
+from repro.hamiltonian import Hamiltonian, PauliString  # noqa: E402
+from repro.models import model_names  # noqa: E402
+from repro.service import ResultStore, job_digest  # noqa: E402
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+pauli_labels = st.sampled_from(["X", "Y", "Z"])
+
+
+@st.composite
+def pauli_strings(draw, max_qubits=6):
+    qubits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_qubits - 1),
+            max_size=max_qubits,
+            unique=True,
+        )
+    )
+    return PauliString({q: draw(pauli_labels) for q in qubits})
+
+
+@st.composite
+def hamiltonians(draw, max_terms=6, max_qubits=4):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        string = draw(pauli_strings(max_qubits=max_qubits))
+        terms[string] = draw(
+            st.floats(min_value=-10, max_value=10, allow_nan=False)
+        )
+    return Hamiltonian(terms)
+
+
+@st.composite
+def spec_dicts(draw):
+    data = {
+        "name": draw(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1,
+                max_size=12,
+            )
+        ),
+        "model": {
+            "name": draw(st.sampled_from(model_names())),
+            "qubits": draw(st.integers(min_value=2, max_value=5)),
+        },
+        "device": draw(st.sampled_from(["rydberg-1d", "heisenberg"])),
+        "time": draw(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+        ),
+    }
+    if draw(st.booleans()):
+        data["description"] = draw(st.text(max_size=20))
+    if draw(st.booleans()):
+        data["simulation"] = {
+            "shots": draw(st.integers(min_value=1, max_value=5000))
+        }
+    return data
+
+
+# ----------------------------------------------------------------------
+# Serialization helpers under test (the wire forms the service uses)
+# ----------------------------------------------------------------------
+def serialize_pauli(string: PauliString) -> list:
+    return [list(pair) for pair in string.canonical_key]
+
+
+def load_pauli(wire: list) -> PauliString:
+    return PauliString.from_pairs((q, label) for q, label in wire)
+
+
+def serialize_hamiltonian(h: Hamiltonian) -> list:
+    return [
+        [serialize_pauli(string), coefficient]
+        for string, coefficient in sorted(
+            h.terms.items(), key=lambda item: item[0].canonical_key
+        )
+    ]
+
+
+def load_hamiltonian(wire: list) -> Hamiltonian:
+    return Hamiltonian.from_pairs(
+        (load_pauli(pairs), coefficient) for pairs, coefficient in wire
+    )
+
+
+# ----------------------------------------------------------------------
+# In-process round trips
+# ----------------------------------------------------------------------
+@given(pauli_strings())
+def test_pauli_string_round_trips(string):
+    wire = json.loads(json.dumps(serialize_pauli(string)))
+    back = load_pauli(wire)
+    assert back == string
+    assert back.stable_hash() == string.stable_hash()
+
+
+@given(hamiltonians())
+def test_hamiltonian_round_trips(h):
+    wire = json.loads(json.dumps(serialize_hamiltonian(h)))
+    back = load_hamiltonian(wire)
+    assert back.stable_hash() == h.stable_hash()  # bit-identical digest
+    assert back.num_terms == h.num_terms
+    # Summation order may differ (the wire form is sorted), so the l1
+    # norm is only float-close, while the digest is exact by design.
+    assert back.l1_norm() == pytest.approx(h.l1_norm())
+
+
+@given(spec_dicts())
+@settings(max_examples=25, deadline=None)
+def test_experiment_spec_round_trips(data):
+    spec = ExperimentSpec.from_dict(data)
+    wire = json.loads(json.dumps(spec.to_dict(), sort_keys=True))
+    back = ExperimentSpec.from_dict(wire)
+    assert back.spec_hash == spec.spec_hash
+
+
+@given(hamiltonians(), st.integers(min_value=0, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_store_round_trip_preserves_digest(tmp_path_factory, h, salt):
+    store = ResultStore(tmp_path_factory.mktemp("props") / "results")
+    request = {"hamiltonian": serialize_hamiltonian(h), "salt": salt}
+    digest = job_digest("compile", request)
+    store.store(digest, {"kind": "compile", "request": request, "result": {}})
+    record = store.load(digest)
+    assert record is not None
+    # The loaded request re-digests to the key it was stored under...
+    assert job_digest("compile", record["request"]) == digest
+    # ...and the payload's Hamiltonian fingerprint is unchanged.
+    back = load_hamiltonian(record["request"]["hamiltonian"])
+    assert back.stable_hash() == h.stable_hash()
+
+
+@given(st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    st.one_of(
+        st.integers(min_value=-1000, max_value=1000),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.text(alphabet="xyz", max_size=5),
+    ),
+    max_size=5,
+))
+def test_job_digest_ignores_key_order(request):
+    shuffled = dict(reversed(list(request.items())))
+    assert job_digest("compile", request) == job_digest("compile", shuffled)
+
+
+# ----------------------------------------------------------------------
+# Cross-process digest stability
+# ----------------------------------------------------------------------
+_CHILD = """
+import json, sys
+from repro.experiments.spec import ExperimentSpec
+from repro.hamiltonian import Hamiltonian, PauliString
+from repro.service import job_digest
+
+payload = json.load(sys.stdin)
+out = []
+for entry in payload:
+    spec = ExperimentSpec.from_dict(entry["spec"])
+    h = Hamiltonian.from_pairs(
+        (PauliString.from_pairs((q, l) for q, l in pairs), c)
+        for pairs, c in entry["hamiltonian"]
+    )
+    out.append({
+        "spec_hash": spec.spec_hash,
+        "h_hash": h.stable_hash(),
+        "job": job_digest("compile", entry["request"]),
+    })
+json.dump(out, sys.stdout)
+"""
+
+
+def test_digests_are_identical_across_processes(tmp_path):
+    # Hypothesis-shrunk randomness is overkill here; a deterministic
+    # spread of shapes (empty, dense, negative, float-heavy) suffices
+    # because the per-value space is already covered in-process above.
+    entries = []
+    expected = []
+    for index in range(6):
+        h = Hamiltonian(
+            {
+                PauliString({q: "XYZ"[(q + index) % 3]}): (
+                    (-1) ** q * (0.1 + q + index / 7.0)
+                )
+                for q in range(index)
+            }
+        )
+        spec_dict = {
+            "name": f"props-{index}",
+            "model": {"name": "ising_chain", "qubits": 2 + index % 3},
+            "device": "rydberg-1d",
+            "time": 0.3 + index / 3.0,
+        }
+        request = {"spec": spec_dict, "i": index, "f": index / 9.0}
+        entries.append(
+            {
+                "spec": spec_dict,
+                "hamiltonian": serialize_hamiltonian(h),
+                "request": request,
+            }
+        )
+        expected.append(
+            {
+                "spec_hash": ExperimentSpec.from_dict(spec_dict).spec_hash,
+                "h_hash": h.stable_hash(),
+                "job": job_digest("compile", request),
+            }
+        )
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        input=json.dumps(entries),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert json.loads(child.stdout) == expected

@@ -257,7 +257,12 @@ class TestIncrementalCompiler:
         totals = snapshot_cache_stats()
         assert totals["stores"] >= 1
         assert totals["commits"] >= 1
-        assert set(totals["disk"]) == {"families", "blobs", "bytes"}
+        assert set(totals["disk"]) == {
+            "families",
+            "degraded",
+            "blobs",
+            "bytes",
+        }
 
 
 class TestExplainAtPass:

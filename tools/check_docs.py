@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation health checks (run by the CI ``docs`` job).
 
-Four passes, all stdlib-only:
+Six passes, all stdlib-only:
 
 1. **Links** — every relative markdown link target in README.md and
    docs/*.md must exist on disk.
@@ -23,6 +23,10 @@ Four passes, all stdlib-only:
    backticks) every export of repro/errors.py and every fault site in
    repro/testing/faults.py, so the failure taxonomy and injection
    surface cannot drift from their documentation.
+6. **Service contract** — docs/service.md must name (in backticks)
+   every HTTP route in repro/service/routes.py ROUTE_PATHS plus the
+   ``serve``/``submit`` CLI commands, so the service surface cannot
+   change without its protocol document following.
 
 Exit status is the number of problems found.
 """
@@ -42,6 +46,7 @@ DOCSTRING_SURFACE = [
     REPO / "src/repro/batch/compiler.py",
     *sorted((REPO / "src/repro/experiments").glob("*.py")),
     *sorted((REPO / "src/repro/core/pipeline").glob("*.py")),
+    *sorted((REPO / "src/repro/service").glob("*.py")),
 ]
 
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)]*)?\)")
@@ -194,6 +199,36 @@ def check_robustness_doc(problems: list) -> None:
                 )
 
 
+def check_service_doc(problems: list) -> None:
+    """Pass 6: the HTTP surface stays documented.
+
+    docs/service.md owns the service protocol: every route declared in
+    repro/service/routes.py ROUTE_PATHS and both service CLI commands
+    must appear there inside a backticked span, so an endpoint cannot
+    be added or renamed without the protocol document following.
+    """
+    doc = REPO / "docs/service.md"
+    if not doc.exists():
+        problems.append("docs/service.md: missing (service protocol)")
+        return
+    text = doc.read_text(encoding="utf-8")
+    prose = re.sub(r"```.*?```", " ", text, flags=re.DOTALL)
+    documented = " ".join(re.findall(r"`([^`]+)`", prose))
+    routes = _ast_string_list(
+        REPO / "src/repro/service/routes.py", "ROUTE_PATHS"
+    )
+    if not routes:
+        problems.append(
+            "src/repro/service/routes.py: ROUTE_PATHS not extractable"
+        )
+    for name in routes + ["repro serve", "repro submit"]:
+        if name not in documented:
+            problems.append(
+                f"docs/service.md: {name!r} from the service surface is "
+                "not documented"
+            )
+
+
 def main() -> int:
     """Run all passes; print problems; return their count."""
     problems: list = []
@@ -202,6 +237,7 @@ def main() -> int:
     check_docstrings(problems)
     check_pass_table(problems)
     check_robustness_doc(problems)
+    check_service_doc(problems)
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if not problems:
